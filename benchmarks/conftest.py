@@ -1,0 +1,55 @@
+"""Benchmark fixtures.
+
+Every benchmark regenerates one of the paper's tables or figures on a
+shared, cached harness and asserts the published *shape* (who wins, by
+roughly what factor, where crossovers fall).  Absolute numbers are model
+cycles, not wall-clock — see DESIGN.md §2.
+
+Environment knobs:
+
+``REPRO_BENCH_SCALE``
+    Problem-size multiplier (default 0.4; 1.0 reproduces the scaled
+    defaults documented in EXPERIMENTS.md).
+``REPRO_BENCH_THREADS``
+    Comma-separated thread counts for the parallel sweeps
+    (default ``1,2,4,8,16,32``).
+
+Each benchmark runs its generator exactly once (``pedantic`` with one
+round): the regenerated artifact is the product; the timing recorded by
+pytest-benchmark documents the cost of regenerating it.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.harness import Harness, HarnessConfig
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.4"))
+BENCH_THREADS = tuple(
+    int(t) for t in os.environ.get("REPRO_BENCH_THREADS", "1,2,4,8,16,32").split(",")
+)
+
+
+@pytest.fixture(scope="session")
+def harness() -> Harness:
+    """The shared, run-caching harness all benchmarks draw from."""
+    return Harness(HarnessConfig(scale=BENCH_SCALE, seed=0))
+
+
+@pytest.fixture(scope="session")
+def bench_threads() -> tuple:
+    """Thread counts for the parallel sweeps (Figs. 5/6, Table IV)."""
+    return BENCH_THREADS
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a generator exactly once under pytest-benchmark timing."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

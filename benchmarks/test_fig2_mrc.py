@@ -1,0 +1,39 @@
+"""Figure 2 — the MRC of water-spatial, and §IV-G's selected sizes.
+
+Shape under test: a sharp knee at ~23 where the miss ratio collapses;
+and across programs, the knee rule reproduces the paper's "no
+one-fits-for-all" table of selections (barnes 15, fmm 10, ocean 2,
+raytrace 8, volrend 3, water-nsquared 28, water-spatial 23, mdb 20).
+"""
+
+from repro.experiments.figures import PAPER_SELECTED_SIZES, figure2
+
+
+def test_fig2_water_spatial_mrc(harness, once):
+    art = once(figure2, harness)
+    print("\n" + art.text)
+    selected = art.rows[0]["selected_size"]
+    assert abs(selected - 23) <= 2
+    mr = art.series["miss_ratio"]["y"]
+    # The knee is sharp: >20x drop across it.
+    assert mr[selected] < mr[selected - 4] / 20
+    # Flat tail beyond the knee.
+    assert mr[49] <= mr[selected] * 1.01 + 1e-9
+
+
+def test_selected_sizes_match_paper(harness, once):
+    """§IV-G's per-program selections, within +-2 (fmm may drift a bit
+    more at some scales: its curve has a secondary shelf)."""
+    hits = 0
+    once(harness.offline_mrc, "water-spatial")
+    for name, paper_size in PAPER_SELECTED_SIZES.items():
+        ours = harness.offline_size(name)
+        if abs(ours - paper_size) <= 3:
+            hits += 1
+        print(f"{name}: selected {ours} (paper {paper_size})")
+    assert hits >= 6, f"only {hits}/8 selections near the paper's"
+
+
+def test_no_one_size_fits_all(harness, once):
+    sizes = once(lambda: {harness.offline_size(n) for n in PAPER_SELECTED_SIZES})
+    assert len(sizes) >= 5

@@ -1,0 +1,40 @@
+"""Figure 4 — single-thread speedups over ER.
+
+Paper: SC averages 9.6x over ER (range 1.4x-34.2x), AT averages 4.5x,
+SC beats AT by 2.1x on average, SC-offline edges SC by ~7%, BEST tops
+out at 16.1x.  Shape under test: the full ordering per benchmark and
+the aggregate factors within a factor-of-two band.
+"""
+
+from repro.experiments.figures import figure4
+
+
+def test_fig4_speedups(harness, once):
+    art = once(figure4, harness)
+    print("\n" + art.text)
+    rows = {r["benchmark"]: r for r in art.rows}
+
+    for name, row in rows.items():
+        if name == "average":
+            continue
+        assert row["BEST"] >= row["SC-offline"] * 0.98, name
+        assert row["SC-offline"] >= row["SC"] * 0.95, name
+        assert row["AT"] >= 0.9, name
+
+    avg = rows["average"]
+    # SC beats AT on average (paper: 2.1x).
+    assert avg["SC"] > avg["AT"] * 1.15
+    # Order-of-magnitude agreement with the published averages.
+    assert 3 <= avg["SC"] <= 25, f"SC average {avg['SC']} (paper 9.6x)"
+    assert 2 <= avg["AT"] <= 12, f"AT average {avg['AT']} (paper 4.5x)"
+    assert avg["BEST"] <= 45, f"BEST average {avg['BEST']} (paper 16.1x)"
+    # SC-offline's edge over SC is small (paper ~7%).
+    assert avg["SC-offline"] / avg["SC"] < 1.5
+
+
+def test_fig4_sc_uniformly_competitive(harness, once):
+    """Paper: "SC is uniformly better than AT" single-threaded."""
+    art = once(figure4, harness)
+    rows = [r for r in art.rows if r["benchmark"] != "average"]
+    better = [r for r in rows if r["SC"] >= r["AT"] * 0.97]
+    assert len(better) >= len(rows) - 1

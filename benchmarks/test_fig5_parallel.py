@@ -1,0 +1,39 @@
+"""Figure 5 — SC and SC-offline over AT across thread counts.
+
+Paper: SC beats AT in 85% of (program, thread-count) cells (SC-offline
+in 90%); SC wins uniformly at 1-8 threads; the advantage narrows at 16
+and 32 threads where hardware-cache contention levels the field.
+"""
+
+from repro.experiments.figures import figure5
+
+
+def test_fig5_parallel(harness, bench_threads, once):
+    art = once(figure5, harness, threads=bench_threads)
+    print("\n" + art.text)
+    rows = art.rows
+
+    cells = len(rows)
+    sc_wins = sum(1 for r in rows if r["sc_over_at"] > 1.0)
+    sco_wins = sum(1 for r in rows if r["sco_over_at"] > 1.0)
+    print(f"\nSC wins {sc_wins}/{cells}; SC-offline wins {sco_wins}/{cells}")
+    assert sco_wins >= 0.75 * cells, "SC-offline should win ~90% (paper)"
+    assert sc_wins >= 0.6 * cells, "SC should win ~85% (paper)"
+    assert sco_wins >= sc_wins - 2
+
+    # At low thread counts SC wins essentially everywhere.
+    low = [r for r in rows if r["threads"] <= 4]
+    low_wins = sum(1 for r in low if r["sc_over_at"] > 0.98)
+    assert low_wins >= 0.85 * len(low)
+
+
+def test_fig5_contention_narrows_advantage(harness, bench_threads, once):
+    """The paper's §IV-F analysis: for the water programs the SC edge
+    shrinks as threads contend for the hardware cache."""
+    if max(bench_threads) < 8:
+        return
+    art = once(figure5, harness, threads=bench_threads)
+    for name in ("water-spatial", "fmm"):
+        series = art.series[name]
+        first, last = series["sc_over_at"][0], series["sc_over_at"][-1]
+        assert last < max(first * 1.2, 1.2), (name, first, last)

@@ -1,0 +1,28 @@
+"""Figure 6 — slowdown of SC relative to BEST across thread counts.
+
+Paper: ocean starts near 11x and falls; the other programs sit between
+1x and 2x, roughly flat in the thread count — i.e. the overhead of
+adaptive caching does not grow with parallelism.
+"""
+
+from repro.experiments.figures import figure6
+
+
+def test_fig6_overhead(harness, bench_threads, once):
+    art = once(figure6, harness, threads=bench_threads)
+    print("\n" + art.text)
+
+    for row in art.rows:
+        assert row["slowdown"] >= 0.95, row          # BEST is the floor
+        assert row["slowdown"] < 25, row
+
+    # Most programs sit in the paper's 1x-3x band.
+    in_band = [r for r in art.rows if r["slowdown"] <= 3.5]
+    assert len(in_band) >= 0.6 * len(art.rows)
+
+    # Flat-ish in the thread count: the overhead does not explode with
+    # parallelism (paper's conclusion; our short per-thread streams give
+    # the online warm-up more weight at 32 threads than theirs had).
+    for name, series in art.series.items():
+        first, last = series["slowdown"][0], series["slowdown"][-1]
+        assert last <= first * 4 + 1.5, (name, first, last)

@@ -1,0 +1,28 @@
+"""Figure 8 — the time cost of online cache-size selection.
+
+Paper: the overhead of sampling + analysis + starting from the default
+size is 1-10% per program, 6.78% on average, similar at 1 and 8
+threads.
+"""
+
+from repro.experiments.figures import figure8
+
+
+def test_fig8_online_overhead(harness, once):
+    art = once(figure8, harness, thread_counts=(1, 8))
+    print("\n" + art.text)
+
+    rows = [r for r in art.rows if r["benchmark"] != "average"]
+    for row in rows:
+        assert 0 <= row["overhead_pct"] < 60, row
+
+    avg = art.rows[-1]
+    assert avg["benchmark"] == "average"
+    # Paper average 6.78%: single-digit to low-twenties at our scales
+    # (our bursts are a far larger fraction of the scaled runs than the
+    # paper's were of its full-size ones).
+    assert avg["overhead_pct"] < 25, avg
+
+    # Most programs sit near the paper's 1-10% band.
+    in_band = [r for r in rows if r["overhead_pct"] <= 18]
+    assert len(in_band) >= 0.55 * len(rows)

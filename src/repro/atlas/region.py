@@ -1,0 +1,115 @@
+"""Persistent regions: named, durable address ranges with an allocator.
+
+Atlas programs place durable data in persistent regions (the paper's
+emulation backs them with tmpfs and maps them at process start, §IV-A).
+Here a region is a reserved slice of the simulated NVRAM address space
+with a bump allocator and a *root address* — the well-known location a
+recovering process reads first to find its data structures.
+
+Region metadata (name → base address) is itself deterministic: regions
+are carved out of NVRAM in creation order with fixed alignment, so a
+recovery run that re-creates regions in the same order sees the same
+addresses.  (Real Atlas persists a region table; the deterministic
+layout plays that role without adding an orthogonal serialisation
+subsystem to the reproduction.)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.common.errors import ConfigurationError
+from repro.common.geometry import CACHE_LINE_SIZE, align_up
+from repro.nvram.memory import NVRAM_BASE
+
+#: Default region size: 16 MiB of simulated NVRAM.
+DEFAULT_REGION_SIZE = 16 * 1024 * 1024
+
+
+class PersistentRegion:
+    """A named slice of NVRAM with a bump allocator and a root slot.
+
+    The first cache line of the region is reserved: offset 0 holds the
+    root address.
+    """
+
+    __slots__ = ("name", "base", "size", "_next")
+
+    def __init__(self, name: str, base: int, size: int) -> None:
+        if base < NVRAM_BASE:
+            raise ConfigurationError("regions must live in NVRAM")
+        self.name = name
+        self.base = base
+        self.size = size
+        self._next = base + CACHE_LINE_SIZE  # line 0 reserved for the root
+
+    @property
+    def root_addr(self) -> int:
+        """Address of the region's root pointer slot."""
+        return self.base
+
+    @property
+    def end(self) -> int:
+        """One past the region's last byte."""
+        return self.base + self.size
+
+    def alloc(self, nbytes: int, line_aligned: bool = True) -> int:
+        """Reserve ``nbytes``; return the base address.
+
+        Allocations are cache-line aligned by default, the layout the
+        micro-benchmarks and MDB use (one node per line keeps flush
+        accounting legible).
+        """
+        if nbytes <= 0:
+            raise ConfigurationError(f"allocation size must be positive: {nbytes}")
+        addr = align_up(self._next, CACHE_LINE_SIZE) if line_aligned else self._next
+        if addr + nbytes > self.end:
+            raise ConfigurationError(
+                f"region {self.name!r} exhausted "
+                f"({addr + nbytes - self.base} > {self.size} bytes)"
+            )
+        self._next = addr + nbytes
+        return addr
+
+    def contains(self, addr: int) -> bool:
+        """True when ``addr`` falls inside this region."""
+        return self.base <= addr < self.end
+
+    def __repr__(self) -> str:
+        used = self._next - self.base
+        return f"PersistentRegion({self.name!r}, base={self.base:#x}, used={used})"
+
+
+class RegionManager:
+    """Deterministic carving of NVRAM into named regions."""
+
+    __slots__ = ("_regions", "_next_base")
+
+    def __init__(self, base: int = NVRAM_BASE) -> None:
+        self._regions: Dict[str, PersistentRegion] = {}
+        self._next_base = base
+
+    def find_or_create(
+        self, name: str, size: int = DEFAULT_REGION_SIZE
+    ) -> PersistentRegion:
+        """Return the region called ``name``, creating it if needed.
+
+        Re-creation (same names, same order) after a crash yields the
+        same base addresses — the property recovery depends on.
+        """
+        region = self._regions.get(name)
+        if region is not None:
+            return region
+        if size <= 0:
+            raise ConfigurationError("region size must be positive")
+        region = PersistentRegion(name, self._next_base, size)
+        self._regions[name] = region
+        self._next_base = align_up(self._next_base + size, CACHE_LINE_SIZE)
+        return region
+
+    def get(self, name: str) -> Optional[PersistentRegion]:
+        """Look up a region without creating it."""
+        return self._regions.get(name)
+
+    def __iter__(self):
+        return iter(self._regions.values())

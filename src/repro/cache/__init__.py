@@ -1,0 +1,46 @@
+"""The software write-combining cache and the six persistence techniques.
+
+- :mod:`repro.cache.lru` — the O(1) hash-map + doubly-linked-list LRU
+  structure the paper specifies (§III-C, "The Cache").
+- :mod:`repro.cache.write_cache` — the resizable write-combining cache of
+  cache-line addresses.
+- :mod:`repro.cache.table` — Atlas's fixed-size direct-mapped table
+  (§II-A), the state of the art the paper improves on.
+- :mod:`repro.cache.adaptive` — the online controller: bursty sampling →
+  MRC → knee → resize (§III-C).
+- :mod:`repro.cache.policies` — the six techniques of §IV-A: ER, LA, AT,
+  SC, SC-offline and BEST, plus the factory the harness uses.
+"""
+
+from repro.cache.lru import LruCache
+from repro.cache.write_cache import WriteCombiningCache
+from repro.cache.table import AtlasTable
+from repro.cache.adaptive import AdaptiveController, AdaptiveConfig
+from repro.cache.policies import (
+    PersistenceTechnique,
+    SharedSizeState,
+    EagerTechnique,
+    LazyTechnique,
+    AtlasTechnique,
+    SoftwareCacheTechnique,
+    BestTechnique,
+    TECHNIQUES,
+    make_factory,
+)
+
+__all__ = [
+    "LruCache",
+    "WriteCombiningCache",
+    "AtlasTable",
+    "AdaptiveController",
+    "AdaptiveConfig",
+    "PersistenceTechnique",
+    "SharedSizeState",
+    "EagerTechnique",
+    "LazyTechnique",
+    "AtlasTechnique",
+    "SoftwareCacheTechnique",
+    "BestTechnique",
+    "TECHNIQUES",
+    "make_factory",
+]

@@ -1,0 +1,142 @@
+"""O(1) LRU bookkeeping: a hash map over an intrusive doubly linked list.
+
+This is the structure the paper specifies for the software cache
+(§III-C): "Each cache includes a hash map and a doubly linked list … All
+cache operations have O(1) time complexity: including search using the
+hash map; insertion, update and deletion using the linked list," noting
+it is faster than the red-black-tree + list combination Linux uses for
+page management.
+
+The list is implemented with explicit node objects rather than
+``collections.OrderedDict`` so the structure matches the paper's design
+and so tests can assert on the intrusive-list invariants directly.
+Head = least recently used (next eviction victim); tail = most recently
+used.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from repro.common.errors import ConfigurationError
+
+
+class _Node:
+    __slots__ = ("key", "prev", "next")
+
+    def __init__(self, key: int) -> None:
+        self.key = key
+        self.prev: Optional["_Node"] = None
+        self.next: Optional["_Node"] = None
+
+
+class LruCache:
+    """An LRU-ordered set of integer keys with O(1) operations.
+
+    This holds *keys only* (cache-line addresses); the software cache
+    stores no data, just the addresses of lines that still need flushing.
+    """
+
+    __slots__ = ("_map", "_head", "_tail")
+
+    def __init__(self) -> None:
+        self._map: Dict[int, _Node] = {}
+        self._head: Optional[_Node] = None   # LRU end
+        self._tail: Optional[_Node] = None   # MRU end
+
+    def __len__(self) -> int:
+        return len(self._map)
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._map
+
+    # -- intrusive list plumbing ----------------------------------------
+
+    def _unlink(self, node: _Node) -> None:
+        if node.prev is not None:
+            node.prev.next = node.next
+        else:
+            self._head = node.next
+        if node.next is not None:
+            node.next.prev = node.prev
+        else:
+            self._tail = node.prev
+        node.prev = node.next = None
+
+    def _append(self, node: _Node) -> None:
+        node.prev = self._tail
+        node.next = None
+        if self._tail is not None:
+            self._tail.next = node
+        else:
+            self._head = node
+        self._tail = node
+
+    # -- operations ------------------------------------------------------
+
+    def touch(self, key: int) -> bool:
+        """Mark ``key`` most recently used; return False if absent."""
+        node = self._map.get(key)
+        if node is None:
+            return False
+        if node is not self._tail:
+            self._unlink(node)
+            self._append(node)
+        return True
+
+    def insert(self, key: int) -> None:
+        """Insert ``key`` as most recently used (must be absent)."""
+        if key in self._map:
+            raise ConfigurationError(f"key already present: {key}")
+        node = _Node(key)
+        self._map[key] = node
+        self._append(node)
+
+    def evict_lru(self) -> int:
+        """Remove and return the least recently used key."""
+        node = self._head
+        if node is None:
+            raise ConfigurationError("cannot evict from an empty cache")
+        self._unlink(node)
+        del self._map[node.key]
+        return node.key
+
+    def remove(self, key: int) -> bool:
+        """Remove ``key`` if present; return whether it was present."""
+        node = self._map.pop(key, None)
+        if node is None:
+            return False
+        self._unlink(node)
+        return True
+
+    def clear(self) -> List[int]:
+        """Empty the cache; return the keys in LRU-to-MRU order."""
+        keys = list(self)
+        self._map.clear()
+        self._head = self._tail = None
+        return keys
+
+    def peek_lru(self) -> Optional[int]:
+        """The key that would be evicted next, or None when empty."""
+        return self._head.key if self._head is not None else None
+
+    def __iter__(self) -> Iterator[int]:
+        """Iterate keys from least to most recently used."""
+        node = self._head
+        while node is not None:
+            yield node.key
+            node = node.next
+
+    def check_invariants(self) -> None:
+        """Assert list/map consistency (used by the property tests)."""
+        seen = []
+        node = self._head
+        prev = None
+        while node is not None:
+            assert node.prev is prev, "broken prev link"
+            assert self._map.get(node.key) is node, "map/list disagree"
+            seen.append(node.key)
+            prev, node = node, node.next
+        assert self._tail is prev, "tail mismatch"
+        assert len(seen) == len(self._map), "length mismatch"
+        assert len(set(seen)) == len(seen), "duplicate keys in list"

@@ -1,0 +1,87 @@
+"""The resizable write-combining software cache (§II-B, §III-A).
+
+The cache buffers *addresses* of dirty cache lines: "Each time a thread
+running in a FASE writes to persistent memory, the thread stores the
+cache line address to its software cache."  A write to a line already
+present is a *reuse* — the flush is combined and nothing happens.  A
+write to an absent line inserts it; if the cache is over capacity the
+least-recently-written line is evicted, and the caller must flush it to
+NVRAM (Fig. 1's execution model).
+
+Capacity can change at run time (the adaptive controller resizes it when
+a new MRC arrives); shrinking evicts LRU lines, which the caller flushes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.common.errors import ConfigurationError
+from repro.cache.lru import LruCache
+
+
+class WriteCombiningCache:
+    """A fully associative, LRU, resizable cache of dirty-line addresses."""
+
+    __slots__ = ("_lru", "capacity", "hits", "misses", "evictions", "drains")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ConfigurationError("capacity must be >= 1")
+        self._lru = LruCache()
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.drains = 0
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    def __contains__(self, line: int) -> bool:
+        return line in self._lru
+
+    def access(self, line: int) -> Optional[int]:
+        """Record a write to ``line``; return an evicted line to flush.
+
+        A hit combines the write (returns ``None``).  A miss inserts the
+        line and, if the cache exceeded capacity, returns the evicted LRU
+        line — the caller must issue its flush.
+        """
+        if self._lru.touch(line):
+            self.hits += 1
+            return None
+        self.misses += 1
+        self._lru.insert(line)
+        if len(self._lru) > self.capacity:
+            self.evictions += 1
+            return self._lru.evict_lru()
+        return None
+
+    def drain(self) -> List[int]:
+        """Empty the cache (end of FASE); return lines to flush, LRU first."""
+        self.drains += 1
+        return self._lru.clear()
+
+    def resize(self, capacity: int) -> List[int]:
+        """Change capacity; return lines evicted by a shrink (LRU first)."""
+        if capacity < 1:
+            raise ConfigurationError("capacity must be >= 1")
+        evicted: List[int] = []
+        while len(self._lru) > capacity:
+            evicted.append(self._lru.evict_lru())
+        self.evictions += len(evicted)
+        self.capacity = capacity
+        return evicted
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of writes combined so far."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"WriteCombiningCache(capacity={self.capacity}, used={len(self)}, "
+            f"hit_ratio={self.hit_ratio:.3f})"
+        )

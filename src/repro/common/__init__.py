@@ -1,0 +1,55 @@
+"""Shared substrate: cache-line geometry, the event model, RNG helpers.
+
+Everything in :mod:`repro` sits on top of this package.  It deliberately has
+no dependencies on the other subpackages so that the locality theory, the
+hardware model and the workloads can all import it without cycles.
+"""
+
+from repro.common.errors import (
+    ReproError,
+    ConfigurationError,
+    SimulationError,
+    RecoveryError,
+)
+from repro.common.geometry import (
+    CACHE_LINE_SIZE,
+    line_of,
+    line_offset,
+    line_base,
+    lines_spanned,
+    align_up,
+    align_down,
+)
+from repro.common.events import (
+    EventKind,
+    Event,
+    Store,
+    Load,
+    Work,
+    FaseBegin,
+    FaseEnd,
+)
+from repro.common.rng import make_rng, derive_seed
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "SimulationError",
+    "RecoveryError",
+    "CACHE_LINE_SIZE",
+    "line_of",
+    "line_offset",
+    "line_base",
+    "lines_spanned",
+    "align_up",
+    "align_down",
+    "EventKind",
+    "Event",
+    "Store",
+    "Load",
+    "Work",
+    "FaseBegin",
+    "FaseEnd",
+    "make_rng",
+    "derive_seed",
+]

@@ -1,0 +1,134 @@
+"""The instrumented-program event model.
+
+The paper instruments programs with an LLVM pass that reports every memory
+store and every FASE lock/unlock to the runtime (§III-C, "Compiler
+Support").  We replace the compiler pass with an explicit event stream: a
+workload is a generator of events per thread, and the simulated machine
+consumes the stream, driving the hardware cache, the persistence technique
+and the timing model.
+
+Event classes use ``__slots__`` and an integer ``kind`` tag so that the
+machine's dispatch loop — the hottest code in the simulator — can branch on
+an int instead of ``isinstance``.
+
+Events
+------
+``Store(addr, size, value)``
+    A store to *persistent* memory.  ``value`` is an optional payload used
+    by the crash/recovery machinery; pure trace-driven workloads leave it
+    ``None``.
+``Load(addr, size)``
+    A load from persistent memory.  Loads never trigger flush bookkeeping
+    (the software cache is write-combining and "does not consider data
+    reads at all", §III-A) but they do exercise the hardware cache, which
+    is how the *indirect* cost of `clflush` invalidations is measured.
+``Work(amount)``
+    ``amount`` instructions of computation that do not touch persistent
+    memory.  Asynchronous flushes overlap with this work.
+``FaseBegin()`` / ``FaseEnd()``
+    Failure-atomic section boundaries.  FASEs may nest; persistence is
+    only guaranteed at the end of an *outermost* FASE, matching Atlas.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Union
+
+
+class EventKind:
+    """Integer tags for fast dispatch in the machine's inner loop."""
+
+    STORE = 0
+    LOAD = 1
+    WORK = 2
+    FASE_BEGIN = 3
+    FASE_END = 4
+
+
+class Store:
+    """A store of ``size`` bytes at byte address ``addr``."""
+
+    __slots__ = ("addr", "size", "value")
+    kind = EventKind.STORE
+
+    def __init__(self, addr: int, size: int = 8, value: object = None) -> None:
+        self.addr = addr
+        self.size = size
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"Store(addr={self.addr:#x}, size={self.size}, value={self.value!r})"
+
+
+class Load:
+    """A load of ``size`` bytes at byte address ``addr``."""
+
+    __slots__ = ("addr", "size")
+    kind = EventKind.LOAD
+
+    def __init__(self, addr: int, size: int = 8) -> None:
+        self.addr = addr
+        self.size = size
+
+    def __repr__(self) -> str:
+        return f"Load(addr={self.addr:#x}, size={self.size})"
+
+
+class Work:
+    """``amount`` instructions of computation not touching persistent data."""
+
+    __slots__ = ("amount",)
+    kind = EventKind.WORK
+
+    def __init__(self, amount: int) -> None:
+        self.amount = amount
+
+    def __repr__(self) -> str:
+        return f"Work({self.amount})"
+
+
+class FaseBegin:
+    """Enter a failure-atomic section (may nest)."""
+
+    __slots__ = ()
+    kind = EventKind.FASE_BEGIN
+
+    def __repr__(self) -> str:
+        return "FaseBegin()"
+
+
+class FaseEnd:
+    """Leave a failure-atomic section."""
+
+    __slots__ = ()
+    kind = EventKind.FASE_END
+
+    def __repr__(self) -> str:
+        return "FaseEnd()"
+
+
+Event = Union[Store, Load, Work, FaseBegin, FaseEnd]
+EventStream = Iterator[Event]
+
+
+def validate_stream(events: EventStream) -> Iterator[Event]:
+    """Yield events from ``events`` while checking FASE bracketing.
+
+    Raises :class:`~repro.common.errors.SimulationError` on an unmatched
+    ``FaseEnd`` or on a stream ending inside a FASE.  Useful for testing
+    hand-written workloads; the machine itself performs the same checks.
+    """
+    from repro.common.errors import SimulationError
+
+    depth = 0
+    for ev in events:
+        k = ev.kind
+        if k == EventKind.FASE_BEGIN:
+            depth += 1
+        elif k == EventKind.FASE_END:
+            depth -= 1
+            if depth < 0:
+                raise SimulationError("FaseEnd without matching FaseBegin")
+        yield ev
+    if depth != 0:
+        raise SimulationError(f"stream ended inside a FASE (depth={depth})")

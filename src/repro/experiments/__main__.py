@@ -1,0 +1,75 @@
+"""Command-line entry point: regenerate any table or figure.
+
+Examples::
+
+    python -m repro.experiments table3
+    python -m repro.experiments figure5 --scale 0.3
+    python -m repro.experiments all --write EXPERIMENTS.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.experiments.harness import Harness, HarnessConfig
+from repro.experiments.report import GENERATORS, generate
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point (see module docstring); returns an exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's tables and figures on the simulator.",
+    )
+    parser.add_argument(
+        "artifact",
+        choices=sorted(GENERATORS) + ["all"],
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="workload problem-size multiplier (default 1.0)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="base RNG seed")
+    parser.add_argument(
+        "--write",
+        nargs="?",
+        const="EXPERIMENTS.md",
+        default=None,
+        metavar="PATH",
+        help="with 'all': also write the EXPERIMENTS.md report",
+    )
+    parser.add_argument(
+        "--svg",
+        default=None,
+        metavar="DIR",
+        help="also render the figure's chart(s) as SVG into DIR",
+    )
+    args = parser.parse_args(argv)
+
+    harness = Harness(HarnessConfig(scale=args.scale, seed=args.seed))
+    start = time.time()
+    if args.artifact == "all":
+        body = generate(harness, write_path=args.write, svg_dir=args.svg)
+        print(body)
+    else:
+        art = GENERATORS[args.artifact](harness)
+        print(art.title)
+        print()
+        print(art.text)
+        if args.svg and args.artifact.startswith("figure"):
+            from repro.experiments.plots import write_artifact_svgs
+
+            for path in write_artifact_svgs(art, args.svg):
+                print(f"wrote {path}", file=sys.stderr)
+    print(f"\n[{time.time() - start:.1f}s]", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

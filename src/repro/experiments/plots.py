@@ -1,0 +1,260 @@
+"""Dependency-free SVG rendering of the figure artifacts.
+
+The harness's artifacts carry their plotted series; this module turns
+them into standalone ``.svg`` files (no matplotlib required — the
+environment is offline).  ``python -m repro.experiments figure5 --svg
+out/`` writes one chart per artifact.
+
+Only two chart shapes are needed: line charts over a numeric x-axis
+(MRCs, thread sweeps) and bar charts over categories (speedups,
+overheads).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Sequence, Tuple
+
+from repro.common.errors import ConfigurationError
+
+#: A categorical palette (dark-on-white friendly).
+PALETTE = (
+    "#1f77b4", "#d62728", "#2ca02c", "#9467bd",
+    "#ff7f0e", "#8c564b", "#17becf", "#7f7f7f",
+)
+
+_MARGIN_L, _MARGIN_R, _MARGIN_T, _MARGIN_B = 64, 16, 34, 44
+
+
+def _escape(text: str) -> str:
+    return (
+        str(text).replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )
+
+
+def _ticks(lo: float, hi: float, count: int = 5) -> List[float]:
+    if hi <= lo:
+        hi = lo + 1.0
+    step = (hi - lo) / max(1, count - 1)
+    return [lo + i * step for i in range(count)]
+
+
+class _Canvas:
+    """Assembles SVG fragments with a data-to-pixel transform."""
+
+    def __init__(self, width: int, height: int, title: str) -> None:
+        self.width = width
+        self.height = height
+        self.parts: List[str] = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+            f'height="{height}" viewBox="0 0 {width} {height}" '
+            f'font-family="sans-serif" font-size="11">',
+            f'<rect width="{width}" height="{height}" fill="white"/>',
+            f'<text x="{width / 2}" y="18" text-anchor="middle" '
+            f'font-size="13" font-weight="bold">{_escape(title)}</text>',
+        ]
+        self.x0, self.y0 = _MARGIN_L, _MARGIN_T
+        self.x1, self.y1 = width - _MARGIN_R, height - _MARGIN_B
+        self.xlo = self.xhi = self.ylo = self.yhi = 0.0
+
+    def set_scales(self, xlo, xhi, ylo, yhi) -> None:
+        pad = 0.05 * (yhi - ylo or 1.0)
+        self.xlo, self.xhi = xlo, (xhi if xhi > xlo else xlo + 1)
+        self.ylo, self.yhi = ylo - pad, yhi + pad
+
+    def px(self, x: float) -> float:
+        return self.x0 + (x - self.xlo) / (self.xhi - self.xlo) * (self.x1 - self.x0)
+
+    def py(self, y: float) -> float:
+        return self.y1 - (y - self.ylo) / (self.yhi - self.ylo) * (self.y1 - self.y0)
+
+    def axes(self, xlabel: str, ylabel: str, x_ticks: Sequence[Tuple[float, str]],
+             y_ticks: Sequence[Tuple[float, str]]) -> None:
+        p = self.parts
+        p.append(
+            f'<line x1="{self.x0}" y1="{self.y1}" x2="{self.x1}" y2="{self.y1}" '
+            f'stroke="black"/>'
+        )
+        p.append(
+            f'<line x1="{self.x0}" y1="{self.y0}" x2="{self.x0}" y2="{self.y1}" '
+            f'stroke="black"/>'
+        )
+        for x, label in x_ticks:
+            px = self.px(x)
+            p.append(f'<line x1="{px}" y1="{self.y1}" x2="{px}" y2="{self.y1 + 4}" '
+                     f'stroke="black"/>')
+            p.append(f'<text x="{px}" y="{self.y1 + 16}" text-anchor="middle">'
+                     f'{_escape(label)}</text>')
+        for y, label in y_ticks:
+            py = self.py(y)
+            p.append(f'<line x1="{self.x0 - 4}" y1="{py}" x2="{self.x0}" y2="{py}" '
+                     f'stroke="black"/>')
+            p.append(f'<text x="{self.x0 - 7}" y="{py + 4}" text-anchor="end">'
+                     f'{_escape(label)}</text>')
+            p.append(f'<line x1="{self.x0}" y1="{py}" x2="{self.x1}" y2="{py}" '
+                     f'stroke="#dddddd"/>')
+        p.append(
+            f'<text x="{(self.x0 + self.x1) / 2}" y="{self.height - 8}" '
+            f'text-anchor="middle">{_escape(xlabel)}</text>'
+        )
+        p.append(
+            f'<text x="14" y="{(self.y0 + self.y1) / 2}" text-anchor="middle" '
+            f'transform="rotate(-90 14 {(self.y0 + self.y1) / 2})">'
+            f'{_escape(ylabel)}</text>'
+        )
+
+    def legend(self, names: Sequence[str]) -> None:
+        for i, name in enumerate(names):
+            color = PALETTE[i % len(PALETTE)]
+            y = self.y0 + 6 + 14 * i
+            self.parts.append(
+                f'<line x1="{self.x1 - 110}" y1="{y}" x2="{self.x1 - 92}" '
+                f'y2="{y}" stroke="{color}" stroke-width="2"/>'
+            )
+            self.parts.append(
+                f'<text x="{self.x1 - 88}" y="{y + 4}">{_escape(name)}</text>'
+            )
+
+    def finish(self) -> str:
+        return "\n".join(self.parts) + "\n</svg>\n"
+
+
+def svg_line_chart(
+    series: Dict[str, Tuple[Sequence[float], Sequence[float]]],
+    title: str,
+    xlabel: str = "",
+    ylabel: str = "",
+    width: int = 640,
+    height: int = 400,
+) -> str:
+    """Render named ``(xs, ys)`` series as an SVG line chart."""
+    if not series:
+        raise ConfigurationError("a chart needs at least one series")
+    all_x = [x for xs, _ in series.values() for x in xs]
+    all_y = [y for _, ys in series.values() for y in ys]
+    if not all_x:
+        raise ConfigurationError("series contain no points")
+    canvas = _Canvas(width, height, title)
+    canvas.set_scales(min(all_x), max(all_x), min(min(all_y), 0.0), max(all_y))
+    canvas.axes(
+        xlabel,
+        ylabel,
+        [(t, f"{t:g}") for t in _ticks(min(all_x), max(all_x))],
+        [(t, f"{t:.3g}") for t in _ticks(canvas.ylo, canvas.yhi)],
+    )
+    for i, (name, (xs, ys)) in enumerate(series.items()):
+        color = PALETTE[i % len(PALETTE)]
+        points = " ".join(f"{canvas.px(x):.1f},{canvas.py(y):.1f}"
+                          for x, y in zip(xs, ys))
+        canvas.parts.append(
+            f'<polyline points="{points}" fill="none" stroke="{color}" '
+            f'stroke-width="2"/>'
+        )
+        for x, y in zip(xs, ys):
+            canvas.parts.append(
+                f'<circle cx="{canvas.px(x):.1f}" cy="{canvas.py(y):.1f}" '
+                f'r="2.5" fill="{color}"/>'
+            )
+    canvas.legend(list(series))
+    return canvas.finish()
+
+
+def svg_bar_chart(
+    categories: Sequence[str],
+    series: Dict[str, Sequence[float]],
+    title: str,
+    ylabel: str = "",
+    width: int = 820,
+    height: int = 400,
+) -> str:
+    """Render grouped bars per category as an SVG bar chart."""
+    if not series or not categories:
+        raise ConfigurationError("a bar chart needs categories and series")
+    all_y = [y for ys in series.values() for y in ys]
+    canvas = _Canvas(width, height, title)
+    canvas.set_scales(0, len(categories), min(0.0, min(all_y)), max(all_y))
+    canvas.axes(
+        "",
+        ylabel,
+        [],
+        [(t, f"{t:.3g}") for t in _ticks(canvas.ylo, canvas.yhi)],
+    )
+    group_w = (canvas.x1 - canvas.x0) / len(categories)
+    bar_w = group_w * 0.8 / len(series)
+    for c, cat in enumerate(categories):
+        for s, (name, ys) in enumerate(series.items()):
+            color = PALETTE[s % len(PALETTE)]
+            x = canvas.x0 + c * group_w + group_w * 0.1 + s * bar_w
+            y = canvas.py(ys[c])
+            base = canvas.py(max(0.0, canvas.ylo))
+            canvas.parts.append(
+                f'<rect x="{x:.1f}" y="{min(y, base):.1f}" width="{bar_w:.1f}" '
+                f'height="{abs(base - y):.1f}" fill="{color}"/>'
+            )
+        cx = canvas.x0 + (c + 0.5) * group_w
+        canvas.parts.append(
+            f'<text x="{cx:.1f}" y="{canvas.y1 + 14}" text-anchor="end" '
+            f'transform="rotate(-30 {cx:.1f} {canvas.y1 + 14})">'
+            f'{_escape(cat)}</text>'
+        )
+    canvas.legend(list(series))
+    return canvas.finish()
+
+
+def render_artifact_svg(artifact) -> Dict[str, str]:
+    """Turn an artifact's series into one or more SVG documents.
+
+    Returns ``{filename: svg_text}``.  Artifacts with numeric x-axes
+    become line charts (one per panel for the multi-panel Fig. 7);
+    categorical ones become grouped bar charts.
+    """
+    name = artifact.name
+    out: Dict[str, str] = {}
+    if name == "figure2":
+        s = artifact.series["miss_ratio"]
+        out[f"{name}.svg"] = svg_line_chart(
+            {"miss ratio": (s["x"], s["y"])},
+            artifact.title, "cache size", "miss ratio",
+        )
+    elif name == "figure7":
+        for prog, s in artifact.series.items():
+            out[f"{name}_{prog}.svg"] = svg_line_chart(
+                {
+                    "actual": (s["x"], s["actual"]),
+                    "full-trace": (s["x"], s["full_trace"]),
+                    "sampled": (s["x"], s["sampled"]),
+                },
+                f"{artifact.title} — {prog}", "cache size", "miss ratio",
+            )
+    elif name in ("figure5", "figure6"):
+        key = "slowdown" if name == "figure6" else "sc_over_at"
+        series = {
+            prog: (s["x"], s[key]) for prog, s in artifact.series.items()
+        }
+        out[f"{name}.svg"] = svg_line_chart(
+            series, artifact.title, "threads",
+            "SC/BEST slowdown" if name == "figure6" else "speedup over AT",
+        )
+    elif name in ("figure4", "figure8"):
+        first = next(iter(artifact.series.values()))
+        categories = [str(v) for v in first["x"]]
+        series = {label: s["y"] for label, s in artifact.series.items()}
+        out[f"{name}.svg"] = svg_bar_chart(
+            categories, series, artifact.title,
+            "overhead %" if name == "figure8" else "speedup over ER",
+        )
+    else:
+        raise ConfigurationError(f"no SVG rendering for artifact {name!r}")
+    return out
+
+
+def write_artifact_svgs(artifact, directory: str) -> List[str]:
+    """Render and write an artifact's charts; return the paths written."""
+    os.makedirs(directory, exist_ok=True)
+    paths = []
+    for filename, svg in render_artifact_svg(artifact).items():
+        path = os.path.join(directory, filename)
+        with open(path, "w") as fh:
+            fh.write(svg)
+        paths.append(path)
+    return paths

@@ -1,0 +1,95 @@
+"""Average footprint ``fp(k)`` (Xiang et al., Eq. 4) and the duality Eq. 5.
+
+The footprint of a window is its working-set size — the number of distinct
+data accessed in it.  ``fp(k)`` is the average over all ``n - k + 1``
+windows of length ``k``.  The paper proves the duality (Eq. 5)::
+
+    reuse(k) + fp(k) = k
+
+which follows per-window: accesses = distinct data + reuses.
+
+Derivation of the linear-time form used here (equivalent to the paper's
+Eq. 4 up to boundary-constant typos; validated against brute force):
+
+``sum over windows of WSS`` counts, for each datum ``d``, the number of
+windows containing at least one access to ``d``.  Complementing: a window
+misses ``d`` iff it fits entirely in one of the *gaps* around ``d``'s
+accesses — before the first access (``f_d - 1`` free slots), between
+consecutive accesses (``e - s - 1`` slots for a reuse interval ``[s,e]``),
+or after the last access (``n - l_d`` slots).  A gap with ``g`` free slots
+holds ``max(0, g - k + 1)`` windows of length ``k``.  Hence::
+
+    fp(k) = m - (1/(n-k+1)) * [  Σ_d max(0, f_d - k)
+                                + Σ_intervals max(0, (e-s) - k)
+                                + Σ_d max(0, (n - l_d + 1) - k) ]
+
+Each of the three sums is ``Σ_x max(0, x - k)`` over a multiset of
+integers, computed for all ``k`` at once from a histogram by two suffix
+sums — O(n + m) total.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.locality.trace import WriteTrace
+
+
+def _excess_sums(values: np.ndarray, n: int) -> np.ndarray:
+    """Return ``g`` with ``g[k] = sum(max(0, v - k) for v in values)``.
+
+    ``g`` has shape ``(n + 2,)`` so callers can index ``k = 0..n+1``.
+    Values are clipped into ``[0, n]`` (values above ``n`` cannot occur for
+    valid traces; negatives contribute nothing).
+    """
+    g = np.zeros(n + 2, dtype=np.int64)
+    if len(values) == 0:
+        return g
+    vals = np.clip(np.asarray(values, dtype=np.int64), 0, n)
+    hist = np.bincount(vals, minlength=n + 1).astype(np.int64)
+    # count_gt[k] = number of values strictly greater than k
+    count_ge = np.cumsum(hist[::-1])[::-1]           # values >= k
+    count_gt = np.zeros(n + 2, dtype=np.int64)
+    count_gt[: n] = count_ge[1:]                     # values >= k+1
+    # g[k] = g[k+1] + count_gt[k]; integrate from the top.
+    g[: n + 1] = np.cumsum(count_gt[: n + 1][::-1])[::-1]
+    return g
+
+
+def footprint_curve(trace: WriteTrace) -> np.ndarray:
+    """``fp(k)`` for ``k = 0..n`` in linear time (Eq. 4).
+
+    ``fp[0]`` is 0 by convention.  FASE boundaries are *not* applied here;
+    apply :func:`repro.locality.fase_transform.rename_for_fases` first if
+    the FASE-corrected footprint is wanted.
+    """
+    n = trace.n
+    fp = np.zeros(n + 1, dtype=np.float64)
+    if n == 0:
+        return fp
+    m = trace.m
+    first, last = trace.first_last_times()
+    starts, ends = trace.reuse_intervals()
+
+    head_gaps = _excess_sums(first, n)                # before first access
+    reuse_gaps = _excess_sums(ends - starts, n) if len(starts) else np.zeros(
+        n + 2, dtype=np.int64
+    )
+    tail_gaps = _excess_sums(n - last + 1, n)         # after last access
+
+    ks = np.arange(1, n + 1)
+    misses = head_gaps[1 : n + 1] + reuse_gaps[1 : n + 1] + tail_gaps[1 : n + 1]
+    fp[1:] = m - misses / (n - ks + 1)
+    return fp
+
+
+def reuse_from_footprint(trace: WriteTrace) -> np.ndarray:
+    """``reuse(k)`` derived through the duality Eq. 5: ``k - fp(k)``.
+
+    Independent of the direct interval-counting algorithm in
+    :mod:`repro.locality.reuse`; the test suite asserts the two agree to
+    floating-point accuracy on arbitrary traces (the paper's Eq. 5).
+    """
+    fp = footprint_curve(trace)
+    ks = np.arange(len(fp), dtype=np.float64)
+    return ks - fp

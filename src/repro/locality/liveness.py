@@ -1,0 +1,67 @@
+"""All-window average liveness (Li, Ding & Luo, ISMM'14).
+
+The paper derives its reuse algorithm from all-window liveness analysis
+("The solution of interval counting is based on our prior work of
+all-window liveness [27] … it is the first mathematical connection between
+the theory of locality (data caching) and the theory of liveness (memory
+allocation)").  We include the liveness side of that connection: given
+object lifetimes ``[s_i, e_i]`` (allocation to free), ``liveness(k)`` is
+the average number of objects *live* in a window of ``k`` accesses — an
+object is live in a window iff its lifetime intersects the window.
+
+The counting kernel is the same piecewise-linear / second-difference trick
+as :mod:`repro.locality.reuse`, with *intersection* instead of *enclosure*:
+a window ``[w, w+k-1]`` intersects ``[s, e]`` iff ``w ≤ e`` and
+``w+k-1 ≥ s``, giving::
+
+    count(k) = min(e, n-k+1) - max(s-k+1, 1) + 1
+
+which rises with slope +1 from ``count(1) = e-s+1``, plateaus at
+``min(e, n-s+1)`` between ``k1 = min(s, n-e+1)`` and
+``k2 = max(s, n-e+1)``, then follows the total window count ``n-k+1``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError
+
+
+def liveness_counts(starts: np.ndarray, ends: np.ndarray, n: int) -> np.ndarray:
+    """Summed intersecting-window counts for every window length.
+
+    Returns ``total`` of shape ``(n + 1,)``; ``total[k]`` sums, over all
+    lifetime intervals, the number of length-``k`` windows intersecting
+    the interval.  Lifetimes may be points (``s == e``).
+    """
+    starts = np.asarray(starts, dtype=np.int64)
+    ends = np.asarray(ends, dtype=np.int64)
+    if starts.shape != ends.shape:
+        raise ConfigurationError("starts and ends must have equal length")
+    if len(starts) and (starts.min() < 1 or ends.max() > n or np.any(ends < starts)):
+        raise ConfigurationError("lifetimes must satisfy 1 <= s <= e <= n")
+
+    base = np.int64(0)
+    d2 = np.zeros(n + 3, dtype=np.int64)
+    if len(starts):
+        k1 = np.minimum(starts, n - ends + 1)
+        k2 = np.maximum(starts, n - ends + 1)
+        base = np.sum(ends - starts)       # virtual count at k = 0
+        d2[1] += len(starts)               # slope +1 from k = 1
+        np.add.at(d2, k1 + 1, -1)          # rise ends after k1
+        np.add.at(d2, k2 + 1, -1)          # plateau ends after k2
+    slope = np.cumsum(d2[: n + 1])
+    total = base + np.cumsum(slope)
+    total[0] = 0
+    return total
+
+
+def average_liveness(starts: np.ndarray, ends: np.ndarray, n: int) -> np.ndarray:
+    """``liveness(k)`` for ``k = 0..n``: average live objects per window."""
+    total = liveness_counts(starts, ends, n)
+    out = np.zeros(n + 1, dtype=np.float64)
+    if n >= 1:
+        ks = np.arange(1, n + 1)
+        out[1:] = total[1:] / (n - ks + 1)
+    return out

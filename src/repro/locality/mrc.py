@@ -1,0 +1,136 @@
+"""Miss-ratio curves from timescale reuse (Eq. 3 / Eq. 6).
+
+At any moment a fully associative LRU cache holds the distinct data of the
+last ``k`` accesses, for some ``k``.  On average those ``k`` accesses
+contain ``reuse(k)`` reuses, hence ``k - reuse(k)`` distinct data — so the
+cache *size* reached at timescale ``k`` is ``c(k) = k - reuse(k)``.  The
+chance that the next access is a reuse (a hit) is the discrete derivative
+``reuse(k+1) - reuse(k)`` (Eq. 3)::
+
+    hr(c) = reuse(k+1) - reuse(k)   at   c = k - reuse(k)
+
+which by the duality ``reuse + fp = k`` is exactly Xiang et al.'s HOTL
+conversion ``mr(c) = fp'(k)`` (Eq. 6).  The correctness condition is the
+reuse-window hypothesis, inherited unchanged from HOTL (§III-B,
+"Correctness").
+
+:class:`MissRatioCurve` wraps the ``(c(k), mr(k))`` samples with monotone
+clean-up and step interpolation, and is the object consumed by the knee
+detector and the adaptive cache controller.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError
+from repro.locality.reuse import reuse_curve_from_trace
+from repro.locality.trace import WriteTrace
+
+
+class MissRatioCurve:
+    """A cache miss-ratio curve sampled at non-uniform sizes.
+
+    Parameters
+    ----------
+    sizes:
+        Cache sizes ``c(k)``, non-decreasing, starting at 0.
+    miss_ratios:
+        Miss ratio at each size, in ``[0, 1]``.
+    n:
+        Length of the trace the curve was computed from (metadata).
+    """
+
+    __slots__ = ("sizes", "miss_ratios", "n")
+
+    def __init__(
+        self,
+        sizes: np.ndarray,
+        miss_ratios: np.ndarray,
+        n: int = 0,
+    ) -> None:
+        self.sizes = np.asarray(sizes, dtype=np.float64)
+        self.miss_ratios = np.asarray(miss_ratios, dtype=np.float64)
+        if self.sizes.shape != self.miss_ratios.shape:
+            raise ConfigurationError("sizes and miss_ratios must align")
+        if len(self.sizes) == 0:
+            raise ConfigurationError("an MRC needs at least one sample")
+        if np.any(np.diff(self.sizes) < 0):
+            raise ConfigurationError("sizes must be non-decreasing")
+        self.n = int(n)
+
+    def miss_ratio(self, size: float) -> float:
+        """Miss ratio of a cache of ``size`` blocks (step interpolation)."""
+        return float(self.miss_ratios_at(np.asarray([size]))[0])
+
+    def miss_ratios_at(self, sizes: Sequence[float] | np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`miss_ratio`."""
+        q = np.asarray(sizes, dtype=np.float64)
+        if np.any(q < 0):
+            raise ConfigurationError("cache sizes must be non-negative")
+        # Largest sample index whose size is <= query; below the first
+        # sample every access misses (an empty cache).
+        idx = np.searchsorted(self.sizes, q, side="right") - 1
+        out = np.ones(len(q), dtype=np.float64)
+        valid = idx >= 0
+        out[valid] = self.miss_ratios[idx[valid]]
+        return out
+
+    def hit_ratio(self, size: float) -> float:
+        """Hit ratio of a cache of ``size`` blocks."""
+        return 1.0 - self.miss_ratio(size)
+
+    def table(self, max_size: int) -> np.ndarray:
+        """Miss ratios at integer sizes ``1..max_size`` (for figures)."""
+        if max_size < 1:
+            raise ConfigurationError("max_size must be >= 1")
+        return self.miss_ratios_at(np.arange(1, max_size + 1))
+
+    def __repr__(self) -> str:
+        return (
+            f"MissRatioCurve(samples={len(self.sizes)}, "
+            f"max_size={self.sizes[-1]:.1f}, n={self.n})"
+        )
+
+
+def mrc_from_reuse(
+    reuse: np.ndarray, n: Optional[int] = None, monotone: bool = True
+) -> MissRatioCurve:
+    """Convert a ``reuse(k)`` curve (``k = 0..n``) into an MRC (Eq. 3).
+
+    The tail of the reuse curve is dominated by boundary windows (only a
+    handful of windows of near-trace length exist), which makes the
+    discrete derivative noisy there.  Since a fully associative LRU cache
+    satisfies the inclusion property — a larger cache never misses more —
+    ``monotone=True`` (the default) clamps the curve to be non-increasing
+    in size, which repairs the sparse tail without disturbing the densely
+    sampled head.  Pass ``monotone=False`` for the raw Eq. 3 derivative.
+    """
+    reuse = np.asarray(reuse, dtype=np.float64)
+    if reuse.ndim != 1 or len(reuse) < 2:
+        raise ConfigurationError("reuse curve needs at least k = 0 and k = 1")
+    if n is None:
+        n = len(reuse) - 1
+    ks = np.arange(len(reuse) - 1, dtype=np.float64)
+    sizes = ks - reuse[:-1]                 # c(k) = k - reuse(k)
+    hit = np.diff(reuse)                    # hr = reuse(k+1) - reuse(k)
+    # Guard against floating-point jitter: sizes are mathematically
+    # non-decreasing (c(k+1) - c(k) = 1 - hr >= 0) and hit ratios lie in
+    # [0, 1]; enforce both so downstream search stays well-defined.
+    sizes = np.maximum.accumulate(np.maximum(sizes, 0.0))
+    miss = np.clip(1.0 - hit, 0.0, 1.0)
+    if monotone:
+        miss = np.minimum.accumulate(miss)
+    return MissRatioCurve(sizes, miss, n=n)
+
+
+def mrc_from_trace(trace: WriteTrace, honor_fases: bool = True) -> MissRatioCurve:
+    """Compute the write-cache MRC of a trace (the paper's full pipeline).
+
+    Applies the FASE-semantics renaming (unless ``honor_fases`` is false),
+    computes all-window reuse in linear time, and converts to an MRC.
+    """
+    reuse = reuse_curve_from_trace(trace, honor_fases=honor_fases)
+    return mrc_from_reuse(reuse, n=trace.n)

@@ -1,0 +1,40 @@
+"""MDB: a memory-mapped-database stand-in (copy-on-write B+-tree, MVCC).
+
+The paper's case study (§IV-C) is MDB/LMDB — "a read-optimized key-value
+store based on B+-tree … Readers start with the snapshot at the beginning
+of a transaction and run in parallel with writers.  Writers use
+copy-on-write policy."  This package reproduces that write behaviour:
+
+- :mod:`repro.mdb.ops` — the persistence backend interface: the tree
+  runs unchanged against a recording backend (harness workloads), or
+  the Atlas runtime (durable, crash-recoverable).
+- :mod:`repro.mdb.pages` — fixed-size pages in persistent memory with
+  slot-level store/load.
+- :mod:`repro.mdb.btree` — the copy-on-write B+-tree.
+- :mod:`repro.mdb.mvcc` — dual meta pages, snapshot readers, a single
+  writer; a write transaction is one FASE.
+- :mod:`repro.mdb.kvstore` — the public ``MdbStore`` API.
+- :mod:`repro.mdb.mtest` — the Mtest workload (inserts + traversals +
+  deletions) behind Table II and Table III's mdb row.
+"""
+
+from repro.mdb.ops import PersistenceOps, RecordingOps, AtlasOps
+from repro.mdb.pages import Page, PageAllocator
+from repro.mdb.btree import BPlusTree
+from repro.mdb.mvcc import TxnManager, ReadTxn, WriteTxn
+from repro.mdb.kvstore import MdbStore
+from repro.mdb.mtest import MtestWorkload
+
+__all__ = [
+    "PersistenceOps",
+    "RecordingOps",
+    "AtlasOps",
+    "Page",
+    "PageAllocator",
+    "BPlusTree",
+    "TxnManager",
+    "ReadTxn",
+    "WriteTxn",
+    "MdbStore",
+    "MtestWorkload",
+]

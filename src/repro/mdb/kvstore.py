@@ -1,0 +1,82 @@
+"""The public MDB-like key-value store API.
+
+::
+
+    ops = RecordingOps()            # or AtlasOps(runtime)
+    db = MdbStore(ops)
+    with db.write_txn() as txn:
+        txn.put(1, "one")
+        txn.put(2, "two")
+    rd = db.read_txn()
+    assert rd.get(1) == "one"
+
+Each write transaction is one failure-atomic section; readers are
+lock-free snapshots that may outlive later commits.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.mdb.btree import BPlusTree
+from repro.mdb.mvcc import ReadTxn, TxnManager, WriteTxn
+from repro.mdb.ops import PersistenceOps
+from repro.mdb.pages import DEFAULT_PAGE_SIZE, PageAllocator
+
+
+class MdbStore:
+    """A copy-on-write, MVCC key-value store (the paper's MDB stand-in)."""
+
+    def __init__(
+        self, ops: PersistenceOps, page_size: int = DEFAULT_PAGE_SIZE
+    ) -> None:
+        self.ops = ops
+        self.alloc = PageAllocator(ops, page_size)
+        self.tree = BPlusTree(ops, self.alloc)
+        self.txns = TxnManager(ops, self.alloc, self.tree)
+        root = self.tree.create_empty()
+        self.txns.initialise(root)
+
+    # -- transactions ------------------------------------------------------
+
+    def read_txn(self) -> ReadTxn:
+        """A lock-free snapshot reader."""
+        return self.txns.begin_read()
+
+    @contextmanager
+    def write_txn(self) -> Iterator[WriteTxn]:
+        """The exclusive writer; commits (in one FASE) on clean exit."""
+        with self.ops.fase():
+            txn = self.txns.begin_write()
+            try:
+                yield txn
+            except BaseException:
+                txn.abort()
+                raise
+            txn.commit()
+
+    # -- convenience single-op API ------------------------------------------
+
+    def put(self, key: int, value: object) -> None:
+        """One-put write transaction."""
+        with self.write_txn() as txn:
+            txn.put(key, value)
+
+    def get(self, key: int) -> Optional[object]:
+        """Snapshot point lookup."""
+        return self.read_txn().get(key)
+
+    def delete(self, key: int) -> bool:
+        """One-delete write transaction."""
+        with self.write_txn() as txn:
+            return txn.delete(key)
+
+    def count(self) -> int:
+        """Number of live pairs (full traversal)."""
+        return sum(1 for _ in self.read_txn().scan())
+
+    def check(self) -> int:
+        """Validate tree invariants; return the key count."""
+        _i, root, _txn = self.txns.latest()
+        return self.tree.check(root)

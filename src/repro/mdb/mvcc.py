@@ -1,0 +1,155 @@
+"""MVCC: dual meta pages, snapshot readers, a single writer.
+
+MDB's concurrency scheme (§IV-B): "Readers start with the snapshot at the
+beginning of a transaction and run in parallel with writers.  Writers use
+copy-on-write policy.  A reader always sees a valid B+-tree without
+having to acquire locks.  A write transaction is required to acquire an
+exclusive lock."
+
+Like LMDB, two meta pages alternate: a committing writer publishes the
+new root by writing the *other* meta page with a higher transaction id;
+readers pick the meta with the highest id.  Because pages are never
+overwritten (append-only COW), a reader's root stays valid for as long
+as it needs it.  The whole write transaction — COW page writes plus the
+meta flip — is one FASE, which is exactly what makes MDB's transactions
+durable on the Atlas runtime and what produces the paper's "durable
+FASEs" count.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.common.errors import SimulationError
+from repro.mdb.btree import BPlusTree, CowContext
+from repro.mdb.ops import PersistenceOps
+from repro.mdb.pages import Page, PageAllocator
+
+
+class TxnManager:
+    """Owns the meta pages and transaction identity."""
+
+    __slots__ = ("ops", "alloc", "tree", "meta", "_writer_active")
+
+    def __init__(
+        self, ops: PersistenceOps, alloc: PageAllocator, tree: BPlusTree
+    ) -> None:
+        self.ops = ops
+        self.alloc = alloc
+        self.tree = tree
+        self.meta: Tuple[Page, Page] = (alloc.new_page(), alloc.new_page())
+        self._writer_active = False
+
+    def initialise(self, root: int) -> None:
+        """Write the initial meta pages (txn ids 0 and 1)."""
+        with self.ops.fase():
+            self.meta[0].write_header(Page.META, 0)
+            self.meta[0].write_slot(0, (root, 0))
+            self.meta[1].write_header(Page.META, 0)
+            self.meta[1].write_slot(0, (root, 1))
+
+    def latest(self) -> Tuple[int, int, int]:
+        """Return ``(meta_index, root, txn_id)`` of the newest snapshot."""
+        snaps = []
+        for i, page in enumerate(self.meta):
+            payload = page.read_slot(0)
+            if payload is None:
+                raise SimulationError("meta pages not initialised")
+            root, txn_id = payload
+            snaps.append((txn_id, root, i))
+        txn_id, root, i = max(snaps)
+        return i, root, txn_id
+
+    def begin_read(self) -> "ReadTxn":
+        """Open a lock-free snapshot reader."""
+        _i, root, txn_id = self.latest()
+        return ReadTxn(self.tree, root, txn_id)
+
+    def begin_write(self) -> "WriteTxn":
+        """Open the (single) writer; raises if one is already open."""
+        if self._writer_active:
+            raise SimulationError("MDB allows a single write transaction")
+        self._writer_active = True
+        i, root, txn_id = self.latest()
+        return WriteTxn(self, root, txn_id + 1, other_meta=1 - i)
+
+    def _commit(self, txn: "WriteTxn") -> None:
+        meta = self.meta[txn.other_meta]
+        meta.write_slot(0, (txn.root, txn.txn_id))
+        self._writer_active = False
+
+    def _abort(self) -> None:
+        self._writer_active = False
+
+
+class ReadTxn:
+    """A snapshot read transaction (no locks, runs against a fixed root)."""
+
+    __slots__ = ("tree", "root", "txn_id")
+
+    def __init__(self, tree: BPlusTree, root: int, txn_id: int) -> None:
+        self.tree = tree
+        self.root = root
+        self.txn_id = txn_id
+
+    def get(self, key: int) -> Optional[object]:
+        """Point lookup under this snapshot."""
+        return self.tree.get(self.root, key)
+
+    def scan(self):
+        """Full traversal under this snapshot."""
+        return self.tree.scan(self.root)
+
+
+class WriteTxn:
+    """The exclusive write transaction (copy-on-write, one FASE)."""
+
+    __slots__ = ("manager", "root", "txn_id", "other_meta", "cow",
+                 "puts", "deletes", "_done")
+
+    def __init__(
+        self, manager: TxnManager, root: int, txn_id: int, other_meta: int
+    ) -> None:
+        self.manager = manager
+        self.root = root
+        self.txn_id = txn_id
+        self.other_meta = other_meta
+        self.cow = CowContext()
+        self.puts = 0
+        self.deletes = 0
+        self._done = False
+
+    def put(self, key: int, value: object) -> None:
+        """Insert or overwrite a pair (COW along the path)."""
+        self._check_open()
+        self.root = self.manager.tree.insert(self.root, key, value, self.cow)
+        self.puts += 1
+
+    def get(self, key: int) -> Optional[object]:
+        """Read through the writer's own uncommitted root."""
+        self._check_open()
+        return self.manager.tree.get(self.root, key)
+
+    def delete(self, key: int) -> bool:
+        """Delete a pair; returns whether the key existed."""
+        self._check_open()
+        self.root, found = self.manager.tree.delete(self.root, key, self.cow)
+        if found:
+            self.deletes += 1
+        return found
+
+    def commit(self) -> None:
+        """Publish the new root via the alternate meta page."""
+        self._check_open()
+        self.manager._commit(self)
+        self._done = True
+
+    def abort(self) -> None:
+        """Drop the transaction; COW pages become garbage."""
+        self._check_open()
+        self.manager._abort()
+        self._done = True
+
+    def _check_open(self) -> None:
+        if self._done:
+            raise SimulationError("transaction already finished")

@@ -1,0 +1,133 @@
+"""Persistence backends for the MDB store.
+
+The B+-tree and transaction code are written once against
+:class:`PersistenceOps`; the backend decides what a store/load *does*:
+
+- :class:`RecordingOps` keeps a shadow memory and records the event
+  stream — this is how ``MtestWorkload`` produces the machine-runnable
+  streams the experiment harness consumes;
+- :class:`AtlasOps` executes against a live
+  :class:`~repro.atlas.runtime.AtlasRuntime`, making the store genuinely
+  durable and crash-recoverable (used by the recovery tests and the
+  ``examples/mdb_store.py`` example).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Iterator, List
+
+from repro.common.errors import ConfigurationError
+from repro.common.events import Event, FaseBegin, FaseEnd, Load, Store, Work
+from repro.nvram.memory import NVRAM_BASE
+
+
+class PersistenceOps:
+    """Backend protocol: allocation, data access, FASE bracketing."""
+
+    def alloc(self, nbytes: int) -> int:
+        """Reserve persistent memory; return its base address."""
+        raise NotImplementedError
+
+    def store(self, addr: int, value: object, size: int = 8) -> None:
+        """Persistent store."""
+        raise NotImplementedError
+
+    def load(self, addr: int, size: int = 8) -> object:
+        """Persistent load; returns the visible value."""
+        raise NotImplementedError
+
+    def work(self, amount: int) -> None:
+        """Computation between memory operations."""
+        raise NotImplementedError
+
+    @contextmanager
+    def fase(self) -> Iterator[None]:
+        """A failure-atomic section (one write transaction)."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+
+class RecordingOps(PersistenceOps):
+    """Shadow-memory backend that records the event stream.
+
+    Loads are served from the shadow dict (and, optionally, recorded as
+    events so the hardware-cache model sees read traffic).  Recording
+    loads is configurable because read-heavy phases (MDB traversals)
+    otherwise dominate event volume without affecting flush counts.
+    """
+
+    def __init__(
+        self,
+        base: int = NVRAM_BASE,
+        record_loads: bool = True,
+        load_sample: int = 4,
+    ) -> None:
+        if load_sample < 1:
+            raise ConfigurationError("load_sample must be >= 1")
+        self.events: List[Event] = []
+        self.shadow: Dict[int, object] = {}
+        self._next = base
+        self.record_loads = record_loads
+        self.load_sample = load_sample
+        self._load_counter = 0
+
+    def alloc(self, nbytes: int) -> int:
+        if nbytes <= 0:
+            raise ConfigurationError("allocation size must be positive")
+        # Line-align so pages start on cache-line boundaries.
+        addr = (self._next + 63) & ~63
+        self._next = addr + nbytes
+        return addr
+
+    def store(self, addr: int, value: object, size: int = 8) -> None:
+        self.shadow[addr] = value
+        self.events.append(Store(addr, size, value))
+
+    def load(self, addr: int, size: int = 8) -> object:
+        if self.record_loads:
+            self._load_counter += 1
+            if self._load_counter % self.load_sample == 0:
+                self.events.append(Load(addr, size))
+        return self.shadow.get(addr)
+
+    def work(self, amount: int) -> None:
+        self.events.append(Work(amount))
+
+    @contextmanager
+    def fase(self) -> Iterator[None]:
+        self.events.append(FaseBegin())
+        try:
+            yield
+        finally:
+            self.events.append(FaseEnd())
+
+    def take_events(self) -> List[Event]:
+        """Hand over the recorded stream (and reset the buffer)."""
+        events, self.events = self.events, []
+        return events
+
+
+class AtlasOps(PersistenceOps):
+    """Backend running on a live Atlas runtime (durable execution)."""
+
+    def __init__(self, runtime, region_name: str = "mdb") -> None:
+        self.runtime = runtime
+        self.region = runtime.find_or_create_region(region_name)
+
+    def alloc(self, nbytes: int) -> int:
+        return self.region.alloc(nbytes)
+
+    def store(self, addr: int, value: object, size: int = 8) -> None:
+        self.runtime.store(addr, size, value)
+
+    def load(self, addr: int, size: int = 8) -> object:
+        return self.runtime.load(addr, size)
+
+    def work(self, amount: int) -> None:
+        self.runtime.work(amount)
+
+    @contextmanager
+    def fase(self) -> Iterator[None]:
+        with self.runtime.fase():
+            yield

@@ -1,0 +1,52 @@
+"""Crash injection.
+
+A simulated power failure stops execution instantly: whatever has been
+written back (flushed or evicted dirty) is durable in NVRAM; everything
+still dirty in the hardware cache is lost.  This is precisely the failure
+model that makes cache-line flushing necessary in the first place (§I).
+
+:class:`CrashPlan` schedules the failure; :class:`CrashedState` is what
+recovery code gets to look at afterwards — the NVRAM image and nothing
+else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.common.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class CrashPlan:
+    """Schedule a crash after a number of persistent stores.
+
+    ``after_stores`` counts persistent stores across all threads; the
+    machine stops before processing any further event once the budget is
+    exhausted.
+    """
+
+    after_stores: int
+
+    def __post_init__(self) -> None:
+        if self.after_stores < 0:
+            raise ConfigurationError("after_stores must be non-negative")
+
+
+@dataclass
+class CrashedState:
+    """What survives the failure: the durable NVRAM image.
+
+    ``lost_lines`` lists cache lines that were dirty in the hardware cache
+    at the crash — useful in tests to confirm that data was genuinely at
+    risk (i.e. the crash was not trivially recoverable).
+    """
+
+    nvram: Dict[int, object]
+    lost_lines: List[int]
+    at_store: int
+
+    def read(self, addr: int, default: object = None) -> object:
+        """Read a durable value from the post-crash NVRAM image."""
+        return self.nvram.get(addr, default)

@@ -1,0 +1,579 @@
+"""The simulated machine: event streams × technique × cache × flush engine.
+
+``Machine.run`` executes a workload's per-thread event streams against
+
+- one shared hardware cache (threads contend for capacity, the effect
+  behind Table IV's rising L1 miss ratios),
+- one asynchronous flush queue *per thread* (clflush ordering is a
+  per-core constraint; the emulated NVRAM behind it is DRAM with
+  bandwidth to spare, as on the paper's testbed), and
+- one *persistence technique instance per thread* (the paper's software
+  caches are strictly per-thread, §II-B: "There is no data sharing
+  between software caches").
+
+Threads are interleaved deterministically by smallest-cycle-first
+scheduling: the thread whose clock is furthest behind runs the next batch
+of events.  Wall-clock time of a run is the largest per-thread clock.
+
+The technique object is duck-typed (see :mod:`repro.cache.policies`): the
+machine calls ``bind(port)``, ``on_store(line)``, ``on_fase_begin()``,
+``on_fase_end()`` (outermost FASEs only) and ``finish()``, and reads the
+``cost_per_store`` attribute for per-store bookkeeping cycles.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, List, Optional, Tuple
+
+from repro.common.errors import ConfigurationError, SimulationError
+from repro.common.events import Event, EventKind
+from repro.common.geometry import lines_spanned
+from repro.locality.trace import WriteTrace
+from repro.nvram.failure import CrashedState, CrashPlan
+from repro.nvram.flushqueue import FlushQueue
+from repro.nvram.hwcache import HardwareCache
+from repro.nvram.memory import NVRAM_BASE, MainMemory
+from repro.nvram.stats import RunResult, ThreadStats
+from repro.nvram.timing import DEFAULT_TIMING, TimingModel
+
+#: Events a thread executes before the scheduler re-evaluates clocks.
+SCHED_BATCH = 64
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Static configuration of the simulated machine."""
+
+    timing: TimingModel = DEFAULT_TIMING
+    l1_capacity_lines: int = 512      # 32 KiB of 64-byte lines
+    l1_ways: int = 8
+    track_values: bool = False        # needed for crash/recovery tests
+
+    def __post_init__(self) -> None:
+        if self.l1_capacity_lines < self.l1_ways:
+            raise ConfigurationError("cache must hold at least one set")
+
+
+class FlushPort:
+    """The interface a persistence technique uses to act on the machine.
+
+    One port per thread.  All flush accounting (counts by category, stall
+    cycles, value write-backs) funnels through here.
+    """
+
+    __slots__ = ("_machine", "_ctx")
+
+    def __init__(self, machine: "Machine", ctx: "_ThreadContext") -> None:
+        self._machine = machine
+        self._ctx = ctx
+
+    # -- flushing ------------------------------------------------------
+
+    def flush_async(
+        self, line: int, category: str = "eviction", invalidate: bool = True
+    ) -> None:
+        """Issue one flush; the write-back overlaps with execution.
+
+        ``invalidate=True`` models ``clflush`` (what Atlas uses);
+        ``invalidate=False`` models ``clwb``, which writes back but keeps
+        the line valid — cheaper on the next access, at the coherence
+        caveat §II-A notes.
+        """
+        self._machine._do_flush(self._ctx, line, category, invalidate)
+
+    def flush_sync(
+        self,
+        lines: Iterable[int],
+        category: str = "fase_end",
+        invalidate: bool = True,
+    ) -> None:
+        """Flush ``lines`` and stall until all write-backs are durable."""
+        machine = self._machine
+        ctx = self._ctx
+        for line in lines:
+            machine._do_flush(ctx, line, category, invalidate)
+        machine._do_drain(ctx)
+
+    # -- bookkeeping -----------------------------------------------------
+
+    def add_overhead(self, cycles: int, instructions: int = 0) -> None:
+        """Charge technique bookkeeping (e.g. MRC analysis) to the thread."""
+        stats = self._ctx.stats
+        stats.cycles += cycles
+        stats.instructions += instructions
+        stats.technique_overhead_cycles += cycles
+
+    def add_adaptation_cost(self, cycles: int) -> None:
+        """Charge online adaptation (sampling analysis, size selection)."""
+        stats = self._ctx.stats
+        stats.cycles += cycles
+        stats.adaptation_cycles += cycles
+
+    def record_selected_size(self, size: int) -> None:
+        """Log an adaptive cache-size decision."""
+        self._ctx.stats.selected_sizes.append(size)
+
+    # -- context ---------------------------------------------------------
+
+    @property
+    def current_fase_id(self) -> int:
+        """Unique id of the current outermost FASE, or -1 outside any."""
+        return self._ctx.fase_uid if self._ctx.fase_depth > 0 else -1
+
+    @property
+    def thread_id(self) -> int:
+        """Id of the thread this port belongs to."""
+        return self._ctx.thread_id
+
+
+class _ThreadContext:
+    """Mutable per-thread execution state (internal)."""
+
+    __slots__ = (
+        "thread_id",
+        "stream",
+        "technique",
+        "flushq",
+        "stats",
+        "port",
+        "fase_depth",
+        "fase_uid",
+        "next_fase_uid",
+        "trace_lines",
+        "trace_fids",
+        "alive",
+    )
+
+    def __init__(
+        self,
+        thread_id: int,
+        stream: Iterator[Event],
+        technique: object,
+        record_trace: bool,
+    ) -> None:
+        self.thread_id = thread_id
+        self.stream = stream
+        self.technique = technique
+        self.flushq: Optional[FlushQueue] = None
+        self.stats = ThreadStats(thread_id=thread_id)
+        self.port: Optional[FlushPort] = None
+        self.fase_depth = 0
+        self.fase_uid = -1
+        # FASE uids unique across threads: thread_id in the high bits.
+        self.next_fase_uid = thread_id << 40
+        self.trace_lines: Optional[List[int]] = [] if record_trace else None
+        self.trace_fids: Optional[List[int]] = [] if record_trace else None
+        self.alive = True
+
+
+class Machine:
+    """Executes workloads under a persistence technique.
+
+    Parameters
+    ----------
+    config:
+        Machine configuration (timing model, cache geometry).
+    """
+
+    def __init__(self, config: Optional[MachineConfig] = None) -> None:
+        self.config = config or MachineConfig()
+        t = self.config.timing
+        self.memory = MainMemory()
+        self.hwcache = HardwareCache(
+            self.config.l1_capacity_lines,
+            self.config.l1_ways,
+            track_values=self.config.track_values,
+        )
+        self._stores_seen = 0
+        self._crash_plan: Optional[CrashPlan] = None
+        self.crashed_state: Optional[CrashedState] = None
+
+    def _new_flushq(self) -> FlushQueue:
+        t = self.config.timing
+        return FlushQueue(t.flush_queue_depth, t.writeback_service)
+
+    # ------------------------------------------------------------------
+    # Internal flush plumbing
+    # ------------------------------------------------------------------
+
+    def _do_flush(
+        self,
+        ctx: _ThreadContext,
+        line: int,
+        category: str,
+        invalidate: bool = True,
+    ) -> None:
+        t = self.config.timing
+        stats = ctx.stats
+        stats.cycles += t.flush_issue
+        stats.instructions += 1
+        stats.flushes += 1
+        if category == "eviction":
+            stats.eviction_flushes += 1
+        elif category == "fase_end":
+            stats.fase_end_flushes += 1
+        elif category == "eager":
+            stats.eager_flushes += 1
+        elif category == "log":
+            stats.log_flushes += 1
+        else:
+            stats.final_flushes += 1
+        if invalidate:
+            dirty = self.hwcache.clflush(line)
+        else:
+            dirty = self.hwcache.clwb(line)
+        if self.config.track_values:
+            values = self.hwcache.take_values(line)
+            if values:
+                self.memory.write_back(values.items())
+        if dirty:
+            now, stall = ctx.flushq.issue(stats.cycles)
+            stats.cycles = now
+            stats.stall_cycles += stall
+
+    def _do_drain(self, ctx: _ThreadContext) -> None:
+        stats = ctx.stats
+        now, stall = ctx.flushq.drain(stats.cycles)
+        stats.cycles = now
+        stats.stall_cycles += stall
+
+    def _evict_writeback(self, ctx: _ThreadContext, line: int) -> None:
+        # A dirty line displaced by a fill: the hardware writes it back in
+        # the background (no CPU issue cost, but channel occupancy).
+        if self.config.track_values:
+            values = self.hwcache.take_values(line)
+            if values:
+                self.memory.write_back(values.items())
+        stats = ctx.stats
+        now, stall = ctx.flushq.issue(stats.cycles)
+        stats.cycles = now
+        stats.stall_cycles += stall
+
+    # ------------------------------------------------------------------
+    # Event execution
+    # ------------------------------------------------------------------
+
+    def _run_batch(self, ctx: _ThreadContext, budget: int) -> bool:
+        """Run up to ``budget`` events of ``ctx``; return False at stream end."""
+        stream = ctx.stream
+        process = self._process_event
+        for _ in range(budget):
+            ev = next(stream, None)
+            if ev is None:
+                return False
+            process(ctx, ev)
+            if self.crashed_state is not None:
+                return False
+        return True
+
+    def _process_event(self, ctx: _ThreadContext, ev: Event) -> None:
+        """Execute one event on behalf of ``ctx`` (the simulator core)."""
+        t = self.config.timing
+        stats = ctx.stats
+        hw = self.hwcache
+        technique = ctx.technique
+        track_values = self.config.track_values
+        kind = ev.kind
+        if kind == EventKind.STORE:
+            addr = ev.addr
+            persistent = addr >= NVRAM_BASE
+            # Fast path: the overwhelmingly common single-line access.
+            first = addr >> 6
+            last = (addr + ev.size - 1) >> 6
+            lines = (first,) if first == last else lines_spanned(addr, ev.size)
+            for line in lines:
+                hit, evicted = hw.access(line, True)
+                stats.cycles += t.l1_hit if hit else t.l1_hit + t.l1_miss
+                if evicted is not None and evicted[1]:
+                    self._evict_writeback(ctx, evicted[0])
+                if persistent:
+                    if track_values:
+                        hw.store_value(line, addr, ev.value)
+                    technique.on_store(line)
+                    if ctx.trace_lines is not None:
+                        ctx.trace_lines.append(line)
+                        ctx.trace_fids.append(
+                            ctx.fase_uid if ctx.fase_depth > 0 else -1
+                        )
+            stats.instructions += 1
+            if persistent:
+                cost_per_store = technique.cost_per_store
+                stats.persistent_stores += 1
+                stats.cycles += cost_per_store
+                stats.instructions += cost_per_store
+                self._stores_seen += 1
+                plan = self._crash_plan
+                if plan is not None and self._stores_seen >= plan.after_stores:
+                    self._crash()
+                    return
+        elif kind == EventKind.WORK:
+            amount = ev.amount
+            stats.cycles += int(amount * t.cpi)
+            stats.instructions += amount
+        elif kind == EventKind.LOAD:
+            addr = ev.addr
+            first = addr >> 6
+            last = (addr + ev.size - 1) >> 6
+            lines = (first,) if first == last else lines_spanned(addr, ev.size)
+            for line in lines:
+                hit, evicted = hw.access(line, False)
+                stats.cycles += t.l1_hit if hit else t.l1_hit + t.l1_miss
+                if evicted is not None and evicted[1]:
+                    self._evict_writeback(ctx, evicted[0])
+            stats.instructions += 1
+            if addr >= NVRAM_BASE:
+                stats.persistent_loads += 1
+        elif kind == EventKind.FASE_BEGIN:
+            ctx.fase_depth += 1
+            if ctx.fase_depth == 1:
+                ctx.fase_uid = ctx.next_fase_uid
+                ctx.next_fase_uid += 1
+                technique.on_fase_begin()
+        elif kind == EventKind.FASE_END:
+            if ctx.fase_depth == 0:
+                raise SimulationError(
+                    f"thread {ctx.thread_id}: FaseEnd without FaseBegin"
+                )
+            ctx.fase_depth -= 1
+            if ctx.fase_depth == 0:
+                technique.on_fase_end()
+                stats.fase_count += 1
+        else:  # pragma: no cover - the event kinds above are exhaustive
+            raise SimulationError(f"unknown event kind {kind}")
+
+    def _crash(self) -> None:
+        self.crashed_state = CrashedState(
+            nvram=self.memory.nvram_snapshot(),
+            lost_lines=self.hwcache.dirty_lines(),
+            at_store=self._stores_seen,
+        )
+
+    # ------------------------------------------------------------------
+    # Imperative per-thread driver (used by the Atlas runtime)
+    # ------------------------------------------------------------------
+
+    def session(
+        self,
+        technique: object,
+        thread_id: int = 0,
+        record_trace: bool = False,
+    ) -> "MachineSession":
+        """Open an imperative execution session for one simulated thread.
+
+        Unlike :meth:`run`, which pulls events from workload streams, a
+        session lets library code *push* operations (store, load, FASE
+        boundaries) as they happen — this is how the Atlas runtime and
+        the MDB store drive the machine.
+        """
+        ctx = _ThreadContext(thread_id, iter(()), technique, record_trace)
+        ctx.flushq = self._new_flushq()
+        ctx.port = FlushPort(self, ctx)
+        technique.bind(ctx.port)
+        return MachineSession(self, ctx)
+
+    def read_current(self, addr: int, default: object = None) -> object:
+        """The value a load of ``addr`` would observe right now.
+
+        Reads through the hardware cache's pending (dirty, un-written-
+        back) values, falling back to the durable memory image.  Only
+        meaningful with ``track_values`` enabled.
+        """
+        line = addr >> 6
+        pending = self.hwcache.values.get(line)
+        if pending is not None and addr in pending:
+            return pending[addr]
+        return self.memory.read(addr, default)
+
+    # ------------------------------------------------------------------
+    # Public driver
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        workload: object,
+        technique_factory: Callable[[int], object],
+        num_threads: int = 1,
+        seed: int = 0,
+        record_traces: bool = False,
+        crash_plan: Optional[CrashPlan] = None,
+    ) -> RunResult:
+        """Execute ``workload`` and return the collected statistics.
+
+        Parameters
+        ----------
+        workload:
+            Object with ``streams(num_threads, seed) -> list of event
+            iterators`` and a ``name`` attribute.
+        technique_factory:
+            Called once per thread id; returns a fresh technique instance
+            (software caches are per-thread).
+        record_traces:
+            Collect the per-thread persistent-write traces (needed for
+            offline MRC analysis and the figure pipelines).
+        crash_plan:
+            Optional scheduled power failure; afterwards
+            ``self.crashed_state`` holds the durable NVRAM image.
+        """
+        if num_threads < 1:
+            raise ConfigurationError("num_threads must be >= 1")
+        self._crash_plan = crash_plan
+        streams = workload.streams(num_threads, seed)
+        if len(streams) != num_threads:
+            raise SimulationError(
+                f"workload produced {len(streams)} streams for "
+                f"{num_threads} threads"
+            )
+        contexts = []
+        for tid, stream in enumerate(streams):
+            technique = technique_factory(tid)
+            ctx = _ThreadContext(tid, iter(stream), technique, record_traces)
+            ctx.flushq = self._new_flushq()
+            ctx.port = FlushPort(self, ctx)
+            technique.bind(ctx.port)
+            contexts.append(ctx)
+
+        # Smallest-clock-first interleaving; ties broken by thread id.
+        heap: List[Tuple[int, int]] = [(0, ctx.thread_id) for ctx in contexts]
+        heapq.heapify(heap)
+        while heap:
+            _, tid = heapq.heappop(heap)
+            ctx = contexts[tid]
+            alive = self._run_batch(ctx, SCHED_BATCH)
+            if self.crashed_state is not None:
+                break
+            if alive:
+                heapq.heappush(heap, (ctx.stats.cycles, tid))
+            else:
+                if ctx.fase_depth != 0:
+                    raise SimulationError(
+                        f"thread {tid} stream ended inside a FASE "
+                        f"(depth={ctx.fase_depth})"
+                    )
+                ctx.technique.finish()
+                ctx.alive = False
+
+        traces = None
+        if record_traces:
+            traces = [
+                WriteTrace(ctx.trace_lines, ctx.trace_fids) for ctx in contexts
+            ]
+        return RunResult(
+            workload=getattr(workload, "name", type(workload).__name__),
+            technique=getattr(
+                contexts[0].technique, "name", type(contexts[0].technique).__name__
+            ),
+            num_threads=num_threads,
+            threads=[ctx.stats for ctx in contexts],
+            l1_accesses=self.hwcache.accesses,
+            l1_misses=self.hwcache.misses,
+            traces=traces,
+            crashed=self.crashed_state is not None,
+        )
+
+
+class MachineSession:
+    """Imperative single-thread execution handle (see ``Machine.session``).
+
+    Methods mirror the event vocabulary; each call executes immediately
+    against the machine's cache, flush queue and the session's technique.
+    The session must be closed with :meth:`finish` so the technique can
+    drain its remaining buffered lines.
+    """
+
+    __slots__ = ("machine", "_ctx", "_finished")
+
+    def __init__(self, machine: Machine, ctx: _ThreadContext) -> None:
+        self.machine = machine
+        self._ctx = ctx
+        self._finished = False
+
+    # -- operations ------------------------------------------------------
+
+    def store(self, addr: int, size: int = 8, value: object = None) -> None:
+        """Execute a store (persistent iff ``addr`` is in NVRAM)."""
+        from repro.common.events import Store
+
+        self.machine._process_event(self._ctx, Store(addr, size, value))
+
+    def store_unmanaged(self, addr: int, size: int = 8, value: object = None) -> None:
+        """A persistent store *not* routed to the persistence technique.
+
+        Used for runtime metadata (undo-log records) that has its own
+        flush discipline: the technique must not buffer these lines, or
+        it would re-flush already-durable log entries at every drain.
+        Still pays full hardware-cache timing and value tracking.
+        """
+        machine = self.machine
+        ctx = self._ctx
+        t = machine.config.timing
+        stats = ctx.stats
+        hw = machine.hwcache
+        for line in lines_spanned(addr, size):
+            hit, evicted = hw.access(line, True)
+            stats.cycles += t.l1_hit if hit else t.l1_hit + t.l1_miss
+            if evicted is not None and evicted[1]:
+                machine._evict_writeback(ctx, evicted[0])
+            if machine.config.track_values and addr >= NVRAM_BASE:
+                hw.store_value(line, addr, value)
+        stats.instructions += 1
+
+    def load(self, addr: int, size: int = 8) -> object:
+        """Execute a load; return the currently visible value."""
+        from repro.common.events import Load
+
+        self.machine._process_event(self._ctx, Load(addr, size))
+        return self.machine.read_current(addr)
+
+    def work(self, amount: int) -> None:
+        """Execute ``amount`` instructions of computation."""
+        from repro.common.events import Work
+
+        self.machine._process_event(self._ctx, Work(amount))
+
+    def fase_begin(self) -> None:
+        """Enter a failure-atomic section (may nest)."""
+        from repro.common.events import FaseBegin
+
+        self.machine._process_event(self._ctx, FaseBegin())
+
+    def fase_end(self) -> None:
+        """Leave a failure-atomic section."""
+        from repro.common.events import FaseEnd
+
+        self.machine._process_event(self._ctx, FaseEnd())
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def fase_depth(self) -> int:
+        """Current FASE nesting depth."""
+        return self._ctx.fase_depth
+
+    @property
+    def current_fase_id(self) -> int:
+        """Unique id of the current outermost FASE, or -1 outside any."""
+        return self._ctx.fase_uid if self._ctx.fase_depth > 0 else -1
+
+    @property
+    def stats(self) -> ThreadStats:
+        """Live counters of this session's thread."""
+        return self._ctx.stats
+
+    def trace(self) -> Optional[WriteTrace]:
+        """The persistent-write trace, if recording was requested."""
+        if self._ctx.trace_lines is None:
+            return None
+        return WriteTrace(self._ctx.trace_lines, self._ctx.trace_fids)
+
+    def finish(self) -> None:
+        """Close the session: drain the technique's remaining lines."""
+        if self._finished:
+            return
+        if self._ctx.fase_depth != 0:
+            raise SimulationError(
+                f"session closed inside a FASE (depth={self._ctx.fase_depth})"
+            )
+        self._ctx.technique.finish()
+        self._finished = True

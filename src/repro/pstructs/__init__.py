@@ -1,0 +1,29 @@
+"""Persistent data structures on the Atlas FASE runtime.
+
+The paper's introduction motivates a world where "only one format of
+data will suffice": applications keep their objects in NVRAM directly,
+and the runtime (FASEs + flush management) makes them crash-consistent.
+This package is that world's standard library — durable containers a
+downstream user builds applications from, each operation a failure-
+atomic section managed by the software cache:
+
+- :class:`~repro.pstructs.vector.PersistentVector` — a growable array
+  (amortised-doubling storage, durable length).
+- :class:`~repro.pstructs.pdict.PersistentDict` — an open-addressing
+  hash map with durable tombstones and incremental growth.
+- :class:`~repro.pstructs.pqueue.PersistentQueue` — a Michael–Scott
+  style linked FIFO (the durable twin of the `queue` micro-benchmark).
+
+All of them share one discipline: every mutation happens inside a FASE,
+so after a crash, :func:`repro.atlas.recovery.recover` returns an image
+in which each container holds exactly its committed state.  Each class
+carries a ``reattach`` constructor that rebuilds the handle from the
+region root after recovery — the persistent-memory programming pattern
+Atlas calls finding your data again.
+"""
+
+from repro.pstructs.vector import PersistentVector
+from repro.pstructs.pdict import PersistentDict
+from repro.pstructs.pqueue import PersistentQueue
+
+__all__ = ["PersistentVector", "PersistentDict", "PersistentQueue"]

@@ -1,0 +1,101 @@
+"""A durable linked FIFO — the persistent twin of the queue benchmark.
+
+Michael & Scott's structure with a dummy node: the header slot holds
+``(head_node, tail_node, count)``; each node slot holds
+``(value, next_addr)``.  Enqueue links a node after the tail and
+publishes the new header; dequeue advances the head pointer.  One FASE
+per operation, exactly the benchmark's persistence pattern — but here
+the values are real and recoverable.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.atlas.runtime import AtlasRuntime
+from repro.common.errors import ConfigurationError
+
+_SLOT = 8
+
+
+class PersistentQueue:
+    """A crash-consistent FIFO of Python values."""
+
+    def __init__(
+        self,
+        runtime: AtlasRuntime,
+        header_addr: Optional[int] = None,
+    ) -> None:
+        self.rt = runtime
+        if header_addr is None:
+            self.header = runtime.alloc(_SLOT)
+            dummy = runtime.alloc(_SLOT)
+            with runtime.fase():
+                runtime.store(dummy, value=(None, None))
+                runtime.store(self.header, value=(dummy, dummy, 0))
+        else:
+            self.header = header_addr
+
+    @classmethod
+    def reattach(cls, runtime: AtlasRuntime, header_addr: int) -> "PersistentQueue":
+        """Rebuild a handle from a recovered/reopened header address."""
+        return cls(runtime, header_addr=header_addr)
+
+    def _header(self) -> tuple:
+        header = self.rt.load(self.header)
+        if header is None:
+            raise ConfigurationError(f"no queue at {self.header:#x}")
+        return header
+
+    def __len__(self) -> int:
+        return self._header()[2]
+
+    def enqueue(self, value: object) -> None:
+        """Append ``value`` at the tail (one FASE)."""
+        node = self.rt.alloc(_SLOT)
+        with self.rt.fase():
+            head, tail, count = self._header()
+            self.rt.store(node, value=(value, None))
+            tail_value, _next = self.rt.load(tail)
+            self.rt.store(tail, value=(tail_value, node))
+            self.rt.store(self.header, value=(head, node, count + 1))
+
+    def dequeue(self) -> object:
+        """Remove and return the oldest value (one FASE)."""
+        with self.rt.fase():
+            head, tail, count = self._header()
+            if count == 0:
+                raise IndexError("dequeue from empty queue")
+            _dummy_value, first = self.rt.load(head)
+            value, _next = self.rt.load(first)
+            # The dequeued node becomes the new dummy (M&S style).
+            self.rt.store(self.header, value=(first, tail, count - 1))
+            return value
+
+    def peek(self) -> object:
+        """The oldest value without removing it."""
+        head, _tail, count = self._header()
+        if count == 0:
+            raise IndexError("peek at empty queue")
+        _dummy_value, first = self.rt.load(head)
+        return self.rt.load(first)[0]
+
+    # -- post-crash verification -------------------------------------------------
+
+    @staticmethod
+    def read_back(read: Callable[[int], object], header_addr: int) -> List[object]:
+        """Materialise the FIFO contents from a recovered NVRAM image."""
+        header = read(header_addr)
+        if header is None:
+            raise ConfigurationError(f"no queue header at {header_addr:#x}")
+        head, _tail, count = header
+        out: List[object] = []
+        node = read(head)[1]     # skip the dummy
+        while node is not None and len(out) < count:
+            value, node = read(node)
+            out.append(value)
+        if len(out) != count:
+            raise ConfigurationError(
+                f"queue truncated: {len(out)} of {count} recovered"
+            )
+        return out

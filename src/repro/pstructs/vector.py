@@ -1,0 +1,126 @@
+"""A durable growable array.
+
+Layout (one logical slot = 8 bytes of simulated NVRAM):
+
+- header slot: ``(length, capacity, data_base)`` — one durable word, so
+  publishing a new length (or a regrown data block) is a single store;
+- data block: ``capacity`` value slots at ``data_base + 8*i``.
+
+Every mutation is one FASE: an append that triggers growth allocates the
+new block, copies the live prefix, writes the element, then publishes
+the new header — all-or-nothing under crash recovery.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Optional
+
+from repro.atlas.runtime import AtlasRuntime
+from repro.common.errors import ConfigurationError
+
+_SLOT = 8
+
+
+class PersistentVector:
+    """A crash-consistent vector of Python values (see module docstring)."""
+
+    def __init__(
+        self,
+        runtime: AtlasRuntime,
+        initial_capacity: int = 8,
+        header_addr: Optional[int] = None,
+    ) -> None:
+        if initial_capacity < 1:
+            raise ConfigurationError("initial capacity must be >= 1")
+        self.rt = runtime
+        if header_addr is None:
+            self.header = runtime.alloc(_SLOT)
+            data = runtime.alloc(initial_capacity * _SLOT)
+            with runtime.fase():
+                runtime.store(self.header, value=(0, initial_capacity, data))
+        else:
+            self.header = header_addr
+
+    # -- construction after recovery --------------------------------------
+
+    @classmethod
+    def reattach(cls, runtime: AtlasRuntime, header_addr: int) -> "PersistentVector":
+        """Rebuild a handle from a recovered/reopened header address."""
+        return cls(runtime, header_addr=header_addr)
+
+    # -- internals ---------------------------------------------------------
+
+    def _header(self) -> tuple:
+        header = self.rt.load(self.header)
+        if header is None:
+            raise ConfigurationError(f"no vector at {self.header:#x}")
+        return header
+
+    # -- reads ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._header()[0]
+
+    def get(self, index: int) -> object:
+        """Read element ``index``."""
+        length, _cap, data = self._header()
+        if not 0 <= index < length:
+            raise IndexError(index)
+        return self.rt.load(data + index * _SLOT)
+
+    def __iter__(self) -> Iterator[object]:
+        length, _cap, data = self._header()
+        for i in range(length):
+            yield self.rt.load(data + i * _SLOT)
+
+    # -- writes ----------------------------------------------------------------
+
+    def append(self, value: object) -> None:
+        """Append ``value`` (one FASE, growing the storage if needed)."""
+        with self.rt.fase():
+            length, cap, data = self._header()
+            if length == cap:
+                new_cap = cap * 2
+                new_data = self.rt.alloc(new_cap * _SLOT)
+                for i in range(length):
+                    self.rt.store(
+                        new_data + i * _SLOT,
+                        value=self.rt.load(data + i * _SLOT),
+                    )
+                data, cap = new_data, new_cap
+            self.rt.store(data + length * _SLOT, value=value)
+            self.rt.store(self.header, value=(length + 1, cap, data))
+
+    def set(self, index: int, value: object) -> None:
+        """Overwrite element ``index`` (one FASE)."""
+        with self.rt.fase():
+            length, _cap, data = self._header()
+            if not 0 <= index < length:
+                raise IndexError(index)
+            self.rt.store(data + index * _SLOT, value=value)
+
+    def pop(self) -> object:
+        """Remove and return the last element (one FASE)."""
+        with self.rt.fase():
+            length, cap, data = self._header()
+            if length == 0:
+                raise IndexError("pop from empty vector")
+            value = self.rt.load(data + (length - 1) * _SLOT)
+            self.rt.store(self.header, value=(length - 1, cap, data))
+            return value
+
+    def extend(self, values) -> None:
+        """Append several values, one FASE each (each durable on commit)."""
+        for value in values:
+            self.append(value)
+
+    # -- post-crash verification -------------------------------------------------
+
+    @staticmethod
+    def read_back(read: Callable[[int], object], header_addr: int) -> List[object]:
+        """Materialise the vector from a recovered NVRAM image."""
+        header = read(header_addr)
+        if header is None:
+            raise ConfigurationError(f"no vector header at {header_addr:#x}")
+        length, _cap, data = header
+        return [read(data + i * _SLOT) for i in range(length)]

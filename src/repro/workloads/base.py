@@ -1,0 +1,151 @@
+"""Workload protocol and shared building blocks."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence
+
+from repro.common.errors import ConfigurationError
+from repro.common.events import Event, FaseBegin, FaseEnd, Store
+from repro.common.geometry import CACHE_LINE_SIZE, align_up
+from repro.nvram.memory import NVRAM_BASE
+
+
+class Workload:
+    """Base class for workloads.
+
+    A workload produces one event stream per simulated thread.  Streams
+    must be independent iterators (the machine interleaves them), and a
+    workload instance must be reusable: each ``streams`` call starts a
+    fresh logical execution.
+    """
+
+    name = "abstract"
+
+    def streams(self, num_threads: int, seed: int) -> List[Iterator[Event]]:
+        """Return ``num_threads`` independent event iterators."""
+        raise NotImplementedError
+
+    def supports_threads(self, num_threads: int) -> bool:
+        """Whether the workload can be partitioned over this many threads."""
+        return num_threads == 1
+
+    def store_threads(self, num_threads: int) -> int:
+        """How many of the threads actually issue persistent stores.
+
+        Most workloads partition stores across all threads; MVCC-style
+        workloads (MDB) have a single writer, so per-thread sampling
+        bursts must be sized against the writer's stream, not an even
+        split.
+        """
+        return num_threads
+
+
+class BumpAllocator:
+    """A trivial persistent-heap allocator for workload data structures.
+
+    Real allocation policy is irrelevant to flush behaviour; what matters
+    is that distinct objects land on distinct, deterministic addresses in
+    the persistence domain.  Allocations can be line-aligned so that one
+    node maps to one cache line (how the micro-benchmarks lay out nodes).
+    """
+
+    __slots__ = ("next_addr",)
+
+    def __init__(self, base: int = NVRAM_BASE) -> None:
+        if base < NVRAM_BASE:
+            raise ConfigurationError("persistent allocations must be in NVRAM")
+        self.next_addr = base
+
+    def alloc(self, nbytes: int, line_aligned: bool = False) -> int:
+        """Reserve ``nbytes``; return the base address."""
+        if nbytes <= 0:
+            raise ConfigurationError(f"allocation size must be positive: {nbytes}")
+        if line_aligned:
+            self.next_addr = align_up(self.next_addr, CACHE_LINE_SIZE)
+        addr = self.next_addr
+        self.next_addr += nbytes
+        return addr
+
+    def alloc_lines(self, nlines: int) -> int:
+        """Reserve ``nlines`` whole cache lines; return the base address."""
+        return self.alloc(nlines * CACHE_LINE_SIZE, line_aligned=True)
+
+
+class TraceWorkload(Workload):
+    """Replay pre-computed per-thread write traces as store events.
+
+    Used by tests and by trace-level experiments: each per-thread trace
+    is a sequence of ``(line, fase_id)`` records; consecutive runs of the
+    same fase id are bracketed with ``FaseBegin``/``FaseEnd``, and
+    ``fase_id == -1`` emits bare stores.
+    """
+
+    def __init__(self, per_thread_traces: Sequence, name: str = "trace") -> None:
+        self.name = name
+        self._traces = list(per_thread_traces)
+
+    def supports_threads(self, num_threads: int) -> bool:
+        return num_threads == len(self._traces)
+
+    def streams(self, num_threads: int, seed: int) -> List[Iterator[Event]]:
+        if num_threads != len(self._traces):
+            raise ConfigurationError(
+                f"trace workload has {len(self._traces)} threads, "
+                f"{num_threads} requested"
+            )
+        return [self._replay(trace) for trace in self._traces]
+
+    @staticmethod
+    def _replay(trace) -> Iterator[Event]:
+        lines = trace.lines
+        fids = trace.fase_ids
+        # Traces recorded from the machine carry real NVRAM line ids;
+        # synthetic traces often use small ids starting at 0.  Shift the
+        # latter into the persistence domain so replayed stores are
+        # persistent (a constant shift preserves the flush pattern).
+        shift = 0
+        if len(lines) and int(lines.max()) * CACHE_LINE_SIZE < NVRAM_BASE:
+            shift = NVRAM_BASE // CACHE_LINE_SIZE
+        current = None
+        for i in range(len(lines)):
+            fid = int(fids[i])
+            if fid != current:
+                if current is not None and current != -1:
+                    yield FaseEnd()
+                if fid != -1:
+                    yield FaseBegin()
+                current = fid
+            yield Store((int(lines[i]) + shift) * CACHE_LINE_SIZE, 8)
+        if current is not None and current != -1:
+            yield FaseEnd()
+
+
+class ComposedWorkload(Workload):
+    """Run several workloads back to back on the same threads.
+
+    Useful for phase-change studies: a program whose write locality
+    shifts mid-run (e.g. a small-tile phase followed by a wide-sweep
+    phase) exercises periodic re-adaptation, which one-shot sampling
+    cannot follow.
+    """
+
+    def __init__(self, parts: Sequence[Workload], name: str = "composed") -> None:
+        if not parts:
+            raise ConfigurationError("ComposedWorkload needs at least one part")
+        self.parts = list(parts)
+        self.name = name
+
+    def supports_threads(self, num_threads: int) -> bool:
+        return all(p.supports_threads(num_threads) for p in self.parts)
+
+    def store_threads(self, num_threads: int) -> int:
+        return max(p.store_threads(num_threads) for p in self.parts)
+
+    def streams(self, num_threads: int, seed: int) -> List[Iterator[Event]]:
+        per_part = [p.streams(num_threads, seed) for p in self.parts]
+
+        def chain(tid: int) -> Iterator[Event]:
+            for part_streams in per_part:
+                yield from part_streams[tid]
+
+        return [chain(t) for t in range(num_threads)]

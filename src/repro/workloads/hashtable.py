@@ -1,0 +1,164 @@
+"""The *hash* micro-benchmark: a chained hash table (§IV-B).
+
+Modelled on the open-source C hash table the paper uses [13]: separate
+chaining, entries allocated individually, the bucket array resized
+(doubled and rehashed) when the load factor crosses a threshold.  The
+workload is single-threaded (as in the paper) and mixes inserts, updates
+and deletes, one operation per FASE.
+
+Why the technique ordering of Table III's hash row (LA 0.50 < SC 0.595 <
+AT 0.62) emerges here: operations write the entry line plus a
+hash-scattered bucket-array line — scattered lines conflict in the
+8-entry direct-mapped Atlas table (pushing AT above the lazy bound),
+while rehash FASEs sweep many lines with little reuse beyond what any
+cache captures (keeping SC between the two).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.common.events import Event, FaseBegin, FaseEnd, Load, Store, Work
+from repro.common.rng import derive_seed, make_rng
+from repro.workloads.base import BumpAllocator, Workload
+
+DEFAULT_ELEMENTS = 4_000
+
+_KEY_OFF = 0
+_VALUE_OFF = 8
+_NEXT_OFF = 16
+_HASH_OFF = 24
+
+_PTR_SIZE = 8
+_INITIAL_BUCKETS = 64
+_MAX_LOAD = 0.75
+
+
+class HashTableWorkload(Workload):
+    """Insert/update/delete mix on a chained hash table, one FASE per op."""
+
+    name = "hash"
+
+    def __init__(
+        self,
+        elements: int = DEFAULT_ELEMENTS,
+        updates: Optional[int] = None,
+        deletes: Optional[int] = None,
+    ) -> None:
+        self.elements = elements
+        self.updates = updates if updates is not None else elements // 2
+        self.deletes = deletes if deletes is not None else elements // 4
+
+    @property
+    def total_fases(self) -> int:
+        """Operations (paper's hash row: ~7K FASEs for 4000 elements)."""
+        return self.elements + self.updates + self.deletes
+
+    def streams(self, num_threads: int, seed: int) -> List[Iterator[Event]]:
+        if num_threads != 1:
+            raise ConfigurationError("the hash benchmark is single-threaded")
+        return [self._stream(derive_seed(seed, self.name))]
+
+    def _bucket_addr(self, key: int) -> int:
+        # Multiplicative hash, as the C original uses; bucket pointers are
+        # 8 bytes each, eight per cache line.
+        idx = (key * 2654435761) % self._num_buckets
+        return self._buckets_base + idx * _PTR_SIZE
+
+    def _stream(self, seed: int) -> Iterator[Event]:
+        rng = make_rng(seed)
+        alloc = BumpAllocator()
+        self._num_buckets = _INITIAL_BUCKETS
+        self._buckets_base = alloc.alloc(self._num_buckets * _PTR_SIZE, True)
+        count_addr = alloc.alloc_lines(1)
+        chains: Dict[int, List[Tuple[int, int]]] = {}   # bucket addr -> [(key, entry)]
+        entry_of: Dict[int, int] = {}
+        live_keys: List[int] = []
+        inserted = 0
+
+        # Interleave operations: updates and deletes trail the inserts.
+        ops: List[Tuple[str, int]] = []
+        u = d = 0
+        for i in range(self.elements):
+            ops.append(("insert", i))
+            while u < self.updates and u * self.elements < i * self.updates:
+                ops.append(("update", u))
+                u += 1
+            while d < self.deletes and d * self.elements < i * self.deletes:
+                ops.append(("delete", d))
+                d += 1
+        ops.extend(("update", j) for j in range(u, self.updates))
+        ops.extend(("delete", j) for j in range(d, self.deletes))
+
+        for op, _arg in ops:
+            if op == "insert":
+                key = int(rng.integers(0, 1 << 30))
+                # Rehash outside the insert FASE when the load is high.
+                if inserted + 1 > _MAX_LOAD * self._num_buckets:
+                    yield from self._rehash(alloc, chains)
+                entry = alloc.alloc_lines(1)
+                bucket = self._bucket_addr(key)
+                yield FaseBegin()
+                yield Work(250)
+                yield Load(bucket, _PTR_SIZE)
+                yield Store(entry + _KEY_OFF, 8, value=key)
+                yield Store(entry + _VALUE_OFF, 8, value=key ^ 0xFF)
+                yield Store(entry + _NEXT_OFF, 8, value=None)
+                yield Store(entry + _HASH_OFF, 8, value=key * 2654435761 % (1 << 32))
+                yield Store(bucket, _PTR_SIZE, value=entry)
+                yield Store(count_addr, 8, value=inserted + 1)
+                yield FaseEnd()
+                chains.setdefault(bucket, []).insert(0, (key, entry))
+                entry_of[key] = entry
+                live_keys.append(key)
+                inserted += 1
+            elif op == "update" and live_keys:
+                key = live_keys[int(rng.integers(0, len(live_keys)))]
+                entry = entry_of[key]
+                yield FaseBegin()
+                yield Work(70)
+                yield Load(self._bucket_addr(key), _PTR_SIZE)
+                yield Load(entry + _KEY_OFF, 8)
+                yield Store(entry + _VALUE_OFF, 8, value=key ^ 0xAB)
+                yield FaseEnd()
+            elif op == "delete" and live_keys:
+                pick = int(rng.integers(0, len(live_keys)))
+                key = live_keys.pop(pick)
+                entry = entry_of.pop(key)
+                bucket = self._bucket_addr(key)
+                chain = chains.get(bucket, [])
+                pos = next(i for i, (k, _) in enumerate(chain) if k == key)
+                yield FaseBegin()
+                yield Work(250)
+                yield Load(bucket, _PTR_SIZE)
+                if pos == 0:
+                    yield Store(bucket, _PTR_SIZE, value=None)
+                else:
+                    pred_entry = chain[pos - 1][1]
+                    yield Store(pred_entry + _NEXT_OFF, 8, value=None)
+                yield Store(count_addr, 8, value=inserted)
+                yield FaseEnd()
+                chain.pop(pos)
+                inserted -= 1
+
+    def _rehash(
+        self, alloc: BumpAllocator, chains: Dict[int, List[Tuple[int, int]]]
+    ) -> Iterator[Event]:
+        """Double the bucket array and relink every entry (one big FASE)."""
+        old_entries = [pair for chain in chains.values() for pair in chain]
+        self._num_buckets *= 2
+        self._buckets_base = alloc.alloc(self._num_buckets * _PTR_SIZE, True)
+        chains.clear()
+        yield FaseBegin()
+        yield Work(4 * self._num_buckets)
+        # Zero the new bucket array (sequential lines)...
+        for i in range(0, self._num_buckets, 8):
+            yield Store(self._buckets_base + i * _PTR_SIZE, _PTR_SIZE)
+        # ...then relink entries in hash order (scattered bucket lines).
+        for key, entry in old_entries:
+            bucket = self._bucket_addr(key)
+            yield Store(entry + _NEXT_OFF, 8)
+            yield Store(bucket, _PTR_SIZE, value=entry)
+            chains.setdefault(bucket, []).insert(0, (key, entry))
+        yield FaseEnd()

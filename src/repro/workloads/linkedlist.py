@@ -1,0 +1,110 @@
+"""The *linked-list* micro-benchmark (§IV-B).
+
+"The singly linked-list is a multi-threaded benchmark, whereby a total of
+N elements are inserted in a perfect shuffle pattern for a given number
+of elements added atomically at each step."
+
+One insert per FASE.  Each node occupies one cache line (key, value,
+next); an insert stores the three node fields (one line), the
+predecessor's ``next`` pointer (a second line) and the list's element
+count (a third line) — five stores over three lines, which is why every
+technique lands on the same flush ratio of 0.6: there is no reuse beyond
+the in-line combining even the lazy bound gets, so LA = AT = SC
+(Table III's linked-list row).
+
+The perfect shuffle is realised by inserting keys in bit-reversed order,
+so successive inserts land far apart in the list.  With T threads the key
+space is sharded: thread ``t`` maintains its own sublist of the keys
+congruent to ``t`` — insert counts and flush ratios are unchanged, and
+per-thread software caches never interact (as in the paper's model).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, insort
+from typing import Iterator, List
+
+from repro.common.events import Event, FaseBegin, FaseEnd, Load, Store, Work
+from repro.workloads.base import BumpAllocator, Workload
+
+DEFAULT_ELEMENTS = 10_000
+
+_KEY_OFF = 0
+_VALUE_OFF = 8
+_NEXT_OFF = 16
+
+
+def _bit_reverse(value: int, bits: int) -> int:
+    out = 0
+    for _ in range(bits):
+        out = (out << 1) | (value & 1)
+        value >>= 1
+    return out
+
+
+def perfect_shuffle_order(n: int) -> List[int]:
+    """Keys 0..n-1 in bit-reversed (perfect shuffle) insertion order."""
+    if n <= 0:
+        return []
+    bits = max(1, (n - 1).bit_length())
+    order = [k for v in range(1 << bits) if (k := _bit_reverse(v, bits)) < n]
+    return order
+
+
+class LinkedListWorkload(Workload):
+    """Sorted singly linked list built by perfect-shuffle inserts."""
+
+    name = "linked-list"
+
+    def __init__(self, elements: int = DEFAULT_ELEMENTS) -> None:
+        self.elements = elements
+
+    @property
+    def total_stores(self) -> int:
+        """5 stores per insert, 4 for the first (no count update): 5N - 1."""
+        return 5 * self.elements - 1 if self.elements else 0
+
+    def supports_threads(self, num_threads: int) -> bool:
+        return num_threads >= 1
+
+    def streams(self, num_threads: int, seed: int) -> List[Iterator[Event]]:
+        alloc = BumpAllocator()
+        # One count line and one head-pointer line per thread, then nodes.
+        return [
+            self._stream(t, num_threads, alloc)
+            for t in range(num_threads)
+        ]
+
+    def _stream(
+        self, tid: int, nthreads: int, alloc: BumpAllocator
+    ) -> Iterator[Event]:
+        head_addr = alloc.alloc_lines(1)
+        count_addr = alloc.alloc_lines(1)
+        keys = [k for k in perfect_shuffle_order(self.elements) if k % nthreads == tid]
+        sorted_keys: List[int] = []
+        node_of = {}
+        first = True
+        for key in keys:
+            node = alloc.alloc_lines(1)
+            idx = bisect_left(sorted_keys, key)
+            yield FaseBegin()
+            # Search cost: one predecessor load plus traversal work.
+            yield Work(180 + idx // 4)
+            yield Store(node + _KEY_OFF, 8, value=key)
+            yield Store(node + _VALUE_OFF, 8, value=key * 2)
+            if idx == 0:
+                # New head: next := old head, head := node.
+                yield Store(node + _NEXT_OFF, 8, value=None)
+                yield Store(head_addr, 8, value=node)
+            else:
+                pred = node_of[sorted_keys[idx - 1]]
+                yield Load(pred + _NEXT_OFF, 8)
+                yield Store(node + _NEXT_OFF, 8, value=None)
+                yield Store(pred + _NEXT_OFF, 8, value=node)
+            if first:
+                first = False  # paper's store count is 5N - 1
+            else:
+                yield Store(count_addr, 8, value=len(sorted_keys) + 1)
+            yield FaseEnd()
+            insort(sorted_keys, key)
+            node_of[key] = node

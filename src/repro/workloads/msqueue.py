@@ -1,0 +1,90 @@
+"""The *queue* micro-benchmark: Michael & Scott's two-lock queue (§IV-B).
+
+"The queue is a multithreaded benchmark we wrote based on the blocking
+algorithm of Michael and Scott."  The two-lock (blocking) variant keeps a
+dummy node; enqueue appends under the tail lock, dequeue advances the
+head pointer under the head lock.  The locks are transient (DRAM) — only
+the queue's nodes and anchor pointers are persistent.
+
+Persistent stores per operation, each operation one FASE:
+
+- enqueue: node.value, node.next, pred.next, tail pointer — 4 stores;
+- dequeue: head pointer — 1 store.
+
+Nodes are 16 bytes (value + next), four to a cache line, exactly the
+M&S node layout; consecutive allocations pack lines, so the new node
+and its predecessor usually share one — which is how the combined ratio
+lands near the paper's 0.625 (5 stores over ~3 distinct lines per
+enqueue/dequeue pair).
+
+FASEs are single operations, so no technique can combine beyond the
+in-FASE reuse: LA = AT = SC, as in Table III's queue row (SC merely
+chooses the smallest size among the optimal ones).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterator, List
+
+from repro.common.events import Event, FaseBegin, FaseEnd, Load, Store, Work
+from repro.workloads.base import BumpAllocator, Workload
+
+DEFAULT_OPERATIONS = 100_000
+
+_VALUE_OFF = 0
+_NEXT_OFF = 8
+
+
+class QueueWorkload(Workload):
+    """Alternating enqueue/dequeue pairs on a two-lock M&S queue."""
+
+    name = "queue"
+
+    def __init__(self, operations: int = DEFAULT_OPERATIONS) -> None:
+        # `operations` counts enqueue+dequeue pairs per thread group.
+        self.operations = operations
+
+    def supports_threads(self, num_threads: int) -> bool:
+        return num_threads >= 1
+
+    def streams(self, num_threads: int, seed: int) -> List[Iterator[Event]]:
+        alloc = BumpAllocator()
+        per_thread = [self.operations // num_threads] * num_threads
+        per_thread[0] += self.operations - sum(per_thread)
+        return [
+            self._stream(per_thread[t], alloc) for t in range(num_threads)
+        ]
+
+    def _stream(self, pairs: int, alloc: BumpAllocator) -> Iterator[Event]:
+        head_addr = alloc.alloc_lines(1)
+        tail_addr = alloc.alloc_lines(1)
+        dummy = alloc.alloc(16, line_aligned=True)
+        nodes = deque([dummy])
+        tail_node = dummy
+        # Initialise the queue (one setup FASE: dummy node + anchors).
+        yield FaseBegin()
+        yield Store(dummy + _NEXT_OFF, 8, value=None)
+        yield Store(head_addr, 8, value=dummy)
+        yield Store(tail_addr, 8, value=dummy)
+        yield FaseEnd()
+        for i in range(pairs):
+            # -- enqueue ------------------------------------------------
+            node = alloc.alloc(16)
+            yield FaseBegin()
+            yield Work(170)                     # lock, pointer math, instrumentation
+            yield Store(node + _VALUE_OFF, 8, value=i)
+            yield Store(node + _NEXT_OFF, 8, value=None)
+            yield Store(tail_node + _NEXT_OFF, 8, value=node)
+            yield Store(tail_addr, 8, value=node)
+            yield FaseEnd()
+            nodes.append(node)
+            tail_node = node
+            # -- dequeue ------------------------------------------------
+            yield FaseBegin()
+            yield Work(60)
+            front = nodes[0]
+            yield Load(front + _NEXT_OFF, 8)    # read successor
+            yield Store(head_addr, 8, value=nodes[1] if len(nodes) > 1 else None)
+            yield FaseEnd()
+            nodes.popleft()

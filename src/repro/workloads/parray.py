@@ -1,0 +1,84 @@
+"""*persistent-array* — reproduced exactly from §IV-B.
+
+"A simple sequential program … It has only one FASE, which consists of a
+two-level nested loop.  The inner loop iterates 400 times and writes in
+iteration i to the i-th element of an array of integers.  The outer loop
+repeats the inner loop 2500 times.  On the tested machine, a cache block
+has 64 bytes, i.e. 16 (4-byte) integers.  The inner loop accesses 25
+(cache line aligned) or 26 (not cache line aligned) cache blocks."
+
+The analytically known results this workload must reproduce *exactly*
+(Table III):
+
+- total persistent stores: 2500 × 400 + 1 = 1 000 001 (the +1 is a final
+  completion-flag store);
+- Atlas (8-entry table): sequential stores combine 15/16 writes per line
+  through spatial locality — flush ratio 1/16 = 0.0625;
+- the software cache picks size 26 (the unaligned working set) and the
+  ratio collapses to 26 drain flushes + the flag ≈ 0.00003 (LA's bound).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.common.events import Event, FaseBegin, FaseEnd, Store, Work
+from repro.common.geometry import CACHE_LINE_SIZE
+from repro.workloads.base import BumpAllocator, Workload
+
+INNER_ITERATIONS = 400
+OUTER_ITERATIONS = 2500
+INT_SIZE = 4
+
+
+class PersistentArray(Workload):
+    """The paper's persistent-array micro-benchmark (sequential)."""
+
+    name = "persistent-array"
+
+    def __init__(
+        self,
+        inner: int = INNER_ITERATIONS,
+        outer: int = OUTER_ITERATIONS,
+        aligned: bool = False,
+        work_per_store: int = 50,
+    ) -> None:
+        self.inner = inner
+        self.outer = outer
+        self.aligned = aligned
+        self.work_per_store = work_per_store
+
+    @property
+    def total_stores(self) -> int:
+        """Persistent stores per run (paper: 1 000 001)."""
+        return self.inner * self.outer + 1
+
+    @property
+    def working_set_lines(self) -> int:
+        """Cache lines the inner loop touches (25 aligned, 26 not)."""
+        span = self.inner * INT_SIZE
+        if self.aligned:
+            return (span + CACHE_LINE_SIZE - 1) // CACHE_LINE_SIZE
+        return (span + CACHE_LINE_SIZE - 1) // CACHE_LINE_SIZE + 1
+
+    def streams(self, num_threads: int, seed: int) -> List[Iterator[Event]]:
+        if num_threads != 1:
+            raise ValueError("persistent-array is a sequential benchmark")
+        return [self._stream()]
+
+    def _stream(self) -> Iterator[Event]:
+        alloc = BumpAllocator()
+        base = alloc.alloc(self.inner * INT_SIZE + CACHE_LINE_SIZE, line_aligned=True)
+        if not self.aligned:
+            base += CACHE_LINE_SIZE // 2  # straddle one extra line
+        flag = alloc.alloc(INT_SIZE, line_aligned=True)
+        work = self.work_per_store
+        inner = self.inner
+        yield FaseBegin()
+        for _ in range(self.outer):
+            for i in range(inner):
+                if work:
+                    yield Work(work)
+                yield Store(base + i * INT_SIZE, INT_SIZE)
+        yield Store(flag, INT_SIZE, value=1)  # completion flag: the +1 store
+        yield FaseEnd()

@@ -1,0 +1,51 @@
+"""Shared fixtures: small deterministic machines, harnesses and traces."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.harness import Harness, HarnessConfig
+from repro.locality.trace import WriteTrace
+from repro.nvram.machine import Machine, MachineConfig
+
+
+@pytest.fixture
+def machine() -> Machine:
+    """A fresh default machine."""
+    return Machine(MachineConfig())
+
+
+@pytest.fixture
+def value_machine() -> Machine:
+    """A machine with value tracking (for crash/recovery tests)."""
+    return Machine(MachineConfig(track_values=True))
+
+
+@pytest.fixture(scope="session")
+def tiny_harness() -> Harness:
+    """A heavily scaled-down harness shared across harness-level tests.
+
+    Session-scoped: the harness caches runs, so tests touching the same
+    (workload, technique) pay once.
+    """
+    return Harness(HarnessConfig(scale=0.02, seed=7))
+
+
+@pytest.fixture(scope="session")
+def small_harness() -> Harness:
+    """A moderately scaled harness for shape assertions."""
+    return Harness(HarnessConfig(scale=0.1, seed=7))
+
+
+def random_trace(seed: int, n: int, m: int, fases: int = 1) -> WriteTrace:
+    """A random trace helper used across locality tests."""
+    rng = np.random.default_rng(seed)
+    lines = rng.integers(0, m, size=n)
+    if fases <= 1:
+        return WriteTrace(lines)
+    bounds = np.sort(rng.choice(np.arange(1, n), size=fases - 1, replace=False))
+    fids = np.zeros(n, dtype=np.int64)
+    for b in bounds:
+        fids[b:] += 1
+    return WriteTrace(lines, fids)

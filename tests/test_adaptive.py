@@ -1,0 +1,65 @@
+"""The online adaptation controller (burst -> MRC -> knee -> resize)."""
+
+import pytest
+
+from repro.cache.adaptive import AdaptiveConfig, AdaptiveController
+from repro.common.errors import ConfigurationError
+
+
+def feed_pattern(controller, lines, fase=0):
+    """Feed writes until the controller decides; return the decision."""
+    for line in lines:
+        size = controller.observe(line, fase)
+        if size is not None:
+            return size
+    return None
+
+
+def test_decides_exactly_once_at_burst_end():
+    c = AdaptiveController(AdaptiveConfig(burst_length=40))
+    pattern = (list(range(5)) * 100)
+    size = feed_pattern(c, pattern)
+    assert size is not None
+    assert c.analyses == 1
+    # After the (infinite) hibernation no further decisions appear.
+    assert feed_pattern(c, pattern) is None
+    assert c.analyses == 1
+
+
+def test_selects_loop_size_knee():
+    c = AdaptiveController(AdaptiveConfig(burst_length=120))
+    size = feed_pattern(c, list(range(10)) * 50)
+    assert size in (10, 11)
+    assert c.last_size == size
+    assert c.last_mrc is not None
+
+
+def test_sampling_flag_lifecycle():
+    c = AdaptiveController(AdaptiveConfig(burst_length=4))
+    assert c.sampling
+    feed_pattern(c, [1, 2, 1, 2])
+    assert not c.sampling
+
+
+def test_analysis_cost_scales_with_burst():
+    small = AdaptiveController(AdaptiveConfig(burst_length=100))
+    large = AdaptiveController(AdaptiveConfig(burst_length=1000))
+    assert large.analysis_cost() == 10 * small.analysis_cost()
+
+
+def test_fase_ids_respected():
+    """Writes split across many tiny FASEs cannot be combined, so the
+    controller should fall back to the knee-less maximum size."""
+    cfg = AdaptiveConfig(burst_length=60)
+    c = AdaptiveController(cfg)
+    decision = None
+    for i in range(60):
+        decision = c.observe(i % 3, fase_id=i) or decision  # one write per FASE
+    assert decision == cfg.selection.max_size
+
+
+def test_config_validation():
+    with pytest.raises(ConfigurationError):
+        AdaptiveConfig(sample_cost=-1)
+    with pytest.raises(ConfigurationError):
+        AdaptiveConfig(analysis_cost_per_write=-2)

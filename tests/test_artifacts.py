@@ -1,0 +1,152 @@
+"""Tables and figures regenerate with the paper's qualitative shapes.
+
+These run the real artifact generators on a tiny-scale harness: the
+point is structure and orderings, not magnitudes (magnitudes are covered
+by the calibration tests and the full-scale benchmark harness).
+"""
+
+import pytest
+
+from repro.experiments.figures import (
+    PAPER_SELECTED_SIZES,
+    figure2,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+)
+from repro.experiments.tables import (
+    AVERAGE_EXCLUDED,
+    PAPER_TABLE3,
+    table1,
+    table2,
+    table3,
+    table4,
+)
+
+THREADS = (1, 2, 4)   # reduced sweep for the test suite
+
+
+@pytest.fixture(scope="module")
+def h(small_harness):
+    return small_harness
+
+
+def test_table1_shape(h):
+    art = table1(h)
+    rows = {r["program"]: r["slowdown"] for r in art.rows}
+    assert set(rows) == set(h.splash2_workloads()) | {"average"}
+    # Eager flushing is catastrophic everywhere.
+    assert all(s > 3 for s in rows.values())
+    assert rows["average"] > 10
+    assert "slowdown" in art.text
+
+
+def test_table2_shape(h):
+    art = table2(h, threads=2)
+    speedups = {r["method"]: r["speedup"] for r in art.rows}
+    assert speedups["ER"] == 1.0
+    assert speedups["AT"] > 1.2
+    # At tiny scale the online burst is a large run fraction; the
+    # offline software cache must still clearly beat the Atlas table.
+    assert speedups["SC-offline"] > speedups["AT"]
+    assert speedups["SC"] > speedups["AT"] * 0.9
+    assert speedups["BEST"] >= speedups["SC-offline"] >= speedups["SC"] * 0.95
+
+
+def test_table3_shape(h):
+    art = table3(h)
+    rows = {r["benchmark"]: r for r in art.rows}
+    assert set(rows) == set(PAPER_TABLE3) | {"average"}
+    for name, row in rows.items():
+        if name == "average":
+            continue
+        assert row["er"] == 1.0
+        # The floor and the orderings.
+        assert row["la"] <= row["sc"] * 1.05
+        assert row["sc"] <= row["at"] * 1.05
+    # Where the paper says SC = LA exactly.
+    for name in ("linked-list", "queue", "volrend"):
+        assert rows[name]["sc"] == pytest.approx(rows[name]["la"], rel=0.02)
+    # The headline: SC beats AT by an order of magnitude on average.
+    assert rows["average"]["at_over_sc"] > 3
+
+
+def test_table3_average_excludes_artificial(h):
+    art = table3(h)
+    avg = art.rows[-1]
+    assert avg["benchmark"] == "average"
+    assert "persistent-array" in AVERAGE_EXCLUDED
+
+
+def test_table4_shape(h):
+    art = table4(h, threads=THREADS)
+    assert len(art.rows) == len(THREADS)
+    for row in art.rows:
+        # SC runs more instructions than AT; BEST the fewest.
+        assert row["inst_sc"] > row["inst_at"] > row["inst_be"]
+        # SC's flush ratio sits far below AT's; BEST never flushes.
+        assert row["flush_ratio_sc"] < row["flush_ratio_at"] / 3
+        assert row["flush_ratio_be"] == 0.0
+    # L1 contention rises with the thread count for BEST.
+    assert art.rows[-1]["l1_mr_be"] >= art.rows[0]["l1_mr_be"]
+
+
+def test_figure2_shape(h):
+    art = figure2(h)
+    selected = art.rows[0]["selected_size"]
+    assert abs(selected - PAPER_SELECTED_SIZES["water-spatial"]) <= 2
+    mr = art.series["miss_ratio"]["y"]
+    # Sharp knee: the ratio collapses by >10x across the knee.
+    assert mr[selected + 1] < mr[max(0, selected - 3)] / 10
+
+
+def test_figure4_shape(h):
+    art = figure4(h)
+    rows = {r["benchmark"]: r for r in art.rows}
+    avg = rows["average"]
+    assert avg["BEST"] >= avg["SC-offline"] >= avg["SC"] * 0.95
+    assert avg["SC"] > avg["AT"]
+    assert avg["AT"] > 1.0
+
+
+def test_figure5_shape(h):
+    art = figure5(h, threads=THREADS)
+    assert len(art.rows) == 7 * len(THREADS)
+    # "In 85% of tests, SC is better than AT" (90% for SC-offline);
+    # tiny-scale runs lose some of the online margin, so the offline
+    # series carries the strong form of the assertion here.
+    better_offline = [r for r in art.rows if r["sco_over_at"] > 1.0]
+    assert len(better_offline) >= 0.7 * len(art.rows)
+    better_online = [r for r in art.rows if r["sc_over_at"] > 1.0]
+    assert len(better_online) >= 0.5 * len(art.rows)
+
+
+def test_figure6_shape(h):
+    art = figure6(h, threads=THREADS)
+    for row in art.rows:
+        assert row["slowdown"] >= 0.95     # BEST is a lower bound
+        assert row["slowdown"] < 20
+
+
+def test_figure7_shape(h):
+    art = figure7(h)
+    for row in art.rows:
+        # Sampled and full-trace selection agree (Fig. 7's claim).
+        assert abs(row["selected_full"] - row["selected_sampled"]) <= 3
+    for series in art.series.values():
+        assert len(series["actual"]) == len(series["x"])
+
+
+def test_figure8_shape(h):
+    art = figure8(h, thread_counts=(1, 2))
+    avg = art.rows[-1]
+    assert avg["benchmark"] == "average"
+    assert 0 <= avg["overhead_pct"] < 40
+
+
+def test_artifact_text_nonempty(h):
+    for art in (table1(h), figure2(h)):
+        assert art.text
+        assert str(art).startswith(art.title)

@@ -1,0 +1,83 @@
+"""Atlas's direct-mapped table (§II-A)."""
+
+import pytest
+
+from repro.cache.table import ATLAS_TABLE_SIZE, AtlasTable
+from repro.common.errors import ConfigurationError
+
+
+def test_default_size_is_eight():
+    assert ATLAS_TABLE_SIZE == 8
+    assert AtlasTable().size == 8
+
+
+def test_repeat_write_is_absorbed():
+    t = AtlasTable()
+    assert t.access(5) is None
+    assert t.access(5) is None
+    assert t.hits == 1
+
+
+def test_conflict_evicts_occupant():
+    t = AtlasTable(8)
+    assert t.access(3) is None
+    assert t.access(11) == 3      # 11 % 8 == 3 % 8
+    assert 11 in t and 3 not in t
+    assert t.conflicts == 1
+
+
+def test_distinct_slots_no_conflict():
+    t = AtlasTable(8)
+    for line in range(8):
+        assert t.access(line) is None
+    assert len(t) == 8
+
+
+def test_drain_returns_occupants_and_clears():
+    t = AtlasTable(4)
+    for line in (0, 1, 6):
+        t.access(line)
+    drained = t.drain()
+    assert sorted(drained) == [0, 1, 6]
+    assert len(t) == 0
+
+
+def test_sequential_spatial_combining():
+    """The persistent-array effect: a line written 16 times in a row is
+    inserted once; the table removes 15/16 of the flushes."""
+    t = AtlasTable(8)
+    flushes = 0
+    for line in range(32):          # 32 lines cycling the 8 slots
+        for _ in range(16):
+            if t.access(line) is not None:
+                flushes += 1
+    # Every line except the first 8 evicted a predecessor.
+    assert flushes == 32 - 8
+    assert t.hits == 32 * 15
+
+
+def test_strided_access_thrashes():
+    """Aliased lines (stride == table size) defeat the table — the
+    conflict-miss pattern the software cache fixes."""
+    t = AtlasTable(8)
+    conflicts = 0
+    for _ in range(10):
+        for line in (0, 8, 16):     # all map to slot 0
+            if t.access(line) is not None:
+                conflicts += 1
+    assert conflicts == 29          # every access after the first conflicts
+    assert t.hits == 0
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        AtlasTable(0)
+
+
+def test_len_and_contains():
+    t = AtlasTable(2)
+    assert len(t) == 0
+    t.access(4)
+    assert len(t) == 1
+    assert 4 in t
+    assert 6 not in t   # same slot, different line

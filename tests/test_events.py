@@ -1,0 +1,62 @@
+"""The event model and stream validation."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.common.events import (
+    EventKind,
+    FaseBegin,
+    FaseEnd,
+    Load,
+    Store,
+    Work,
+    validate_stream,
+)
+
+
+def test_kind_tags_distinct():
+    kinds = {
+        Store(0).kind,
+        Load(0).kind,
+        Work(1).kind,
+        FaseBegin().kind,
+        FaseEnd().kind,
+    }
+    assert kinds == {
+        EventKind.STORE,
+        EventKind.LOAD,
+        EventKind.WORK,
+        EventKind.FASE_BEGIN,
+        EventKind.FASE_END,
+    }
+
+
+def test_store_defaults():
+    s = Store(0x100)
+    assert s.size == 8 and s.value is None
+
+
+def test_reprs_are_informative():
+    assert "0x100" in repr(Store(0x100))
+    assert "0x200" in repr(Load(0x200))
+    assert "Work(5)" == repr(Work(5))
+
+
+def test_validate_stream_passthrough():
+    events = [FaseBegin(), Store(1), FaseEnd(), Work(2)]
+    assert list(validate_stream(iter(events))) == events
+
+
+def test_validate_stream_unmatched_end():
+    with pytest.raises(SimulationError):
+        list(validate_stream(iter([FaseEnd()])))
+
+
+def test_validate_stream_unclosed_fase():
+    with pytest.raises(SimulationError):
+        list(validate_stream(iter([FaseBegin(), Store(1)])))
+
+
+def test_validate_stream_nesting_ok():
+    events = [FaseBegin(), FaseBegin(), FaseEnd(), FaseEnd()]
+    assert len(list(validate_stream(iter(events)))) == 4

@@ -1,0 +1,68 @@
+"""The FASE-boundary address renaming (§III-B)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.locality.fase_transform import rename_for_fases
+from repro.locality.trace import WriteTrace
+
+
+def test_paper_example_ababab():
+    """"ab|ab|ab" becomes a trace of six distinct addresses."""
+    t = rename_for_fases(WriteTrace.from_string("ab|ab|ab"))
+    assert t.m == 6
+    assert t.n == 6
+
+
+def test_within_fase_reuse_preserved():
+    t = rename_for_fases(WriteTrace.from_string("aab|ab"))
+    starts, ends = t.reuse_intervals()
+    # Only the in-FASE "aa" reuse survives.
+    assert len(starts) == 1
+    assert (list(starts), list(ends)) == ([1], [2])
+
+
+def test_outside_fase_writes_share_one_region():
+    # fase id -1 marks writes outside any FASE; they stay combinable.
+    t = WriteTrace([1, 1, 1], [-1, -1, -1])
+    renamed = rename_for_fases(t)
+    assert renamed.m == 1
+
+
+def test_same_line_across_fase_and_outside_are_distinct():
+    t = WriteTrace([7, 7], [0, -1])
+    renamed = rename_for_fases(t)
+    assert renamed.m == 2
+
+
+def test_deterministic():
+    t = WriteTrace.from_string("abc|cba|abc")
+    a = rename_for_fases(t)
+    b = rename_for_fases(t)
+    assert np.array_equal(a.lines, b.lines)
+
+
+def test_empty():
+    t = rename_for_fases(WriteTrace([]))
+    assert t.n == 0
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(st.integers(min_value=0, max_value=5), min_size=1, max_size=40),
+    st.integers(min_value=1, max_value=5),
+)
+def test_renaming_invariants(lines, nfases):
+    n = len(lines)
+    fids = [(i * nfases) // n for i in range(n)]
+    t = WriteTrace(lines, fids)
+    renamed = rename_for_fases(t)
+    # Same length; fase ids preserved.
+    assert renamed.n == t.n
+    assert np.array_equal(renamed.fase_ids, t.fase_ids)
+    # Two accesses map to the same renamed id iff same line AND same FASE.
+    for i in range(n):
+        for j in range(i + 1, n):
+            same = lines[i] == lines[j] and fids[i] == fids[j]
+            assert (renamed.lines[i] == renamed.lines[j]) == same

@@ -1,0 +1,84 @@
+"""Footprint fp(k) (Eq. 4) and the duality reuse(k) + fp(k) = k (Eq. 5)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.locality.footprint import footprint_curve, reuse_from_footprint
+from repro.locality.reference import footprint_brute, footprint_curve_brute
+from repro.locality.reuse import reuse_curve_from_trace
+from repro.locality.trace import WriteTrace
+
+traces = st.lists(st.integers(min_value=0, max_value=7), min_size=1, max_size=50)
+
+
+def test_footprint_abb():
+    fp = footprint_curve(WriteTrace.from_string("abb"))
+    assert fp[1] == pytest.approx(1.0)
+    assert fp[2] == pytest.approx(1.5)   # windows "ab" and "bb"
+    assert fp[3] == pytest.approx(2.0)
+
+
+def test_footprint_distinct_trace():
+    # All-distinct: every window of k accesses holds k distinct data.
+    fp = footprint_curve(WriteTrace.from_string("abcdefgh"))
+    np.testing.assert_allclose(fp, np.arange(9, dtype=float))
+
+
+def test_footprint_constant_trace():
+    fp = footprint_curve(WriteTrace([3] * 10))
+    np.testing.assert_allclose(fp[1:], np.ones(10))
+
+
+@settings(max_examples=60, deadline=None)
+@given(traces)
+def test_linear_time_matches_brute_force(lines):
+    t = WriteTrace(lines)
+    np.testing.assert_allclose(
+        footprint_curve(t), footprint_curve_brute(t), atol=1e-9
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(traces)
+def test_duality_eq5(lines):
+    """Eq. 5: reuse(k) + fp(k) = k, exactly, for every k."""
+    t = WriteTrace(lines)
+    r = reuse_curve_from_trace(t, honor_fases=False)
+    fp = footprint_curve(t)
+    np.testing.assert_allclose(r + fp, np.arange(t.n + 1, dtype=float), atol=1e-9)
+
+
+def test_reuse_from_footprint_matches_direct():
+    t = WriteTrace(np.random.default_rng(0).integers(0, 9, size=120))
+    direct = reuse_curve_from_trace(t, honor_fases=False)
+    via_fp = reuse_from_footprint(t)
+    np.testing.assert_allclose(direct, via_fp, atol=1e-9)
+
+
+def test_footprint_bounded_by_m_and_k():
+    t = WriteTrace(np.random.default_rng(1).integers(0, 5, size=70))
+    fp = footprint_curve(t)
+    ks = np.arange(t.n + 1)
+    assert np.all(fp <= np.minimum(ks, t.m) + 1e-9)
+    assert np.all(fp[1:] >= 1.0 - 1e-9)
+
+
+def test_footprint_monotone():
+    """A longer window sees at least as many distinct data on average."""
+    t = WriteTrace(np.random.default_rng(2).integers(0, 8, size=90))
+    fp = footprint_curve(t)
+    assert np.all(np.diff(fp) >= -1e-9)
+
+
+def test_footprint_spot_single_k():
+    t = WriteTrace.from_string("aabbccab")
+    fp = footprint_curve(t)
+    for k in (1, 2, 4, 7):
+        assert fp[k] == pytest.approx(footprint_brute(t, k))
+
+
+def test_footprint_empty():
+    fp = footprint_curve(WriteTrace([]))
+    assert list(fp) == [0.0]

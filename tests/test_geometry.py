@@ -1,0 +1,82 @@
+"""Cache-line geometry."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import ConfigurationError
+from repro.common.geometry import (
+    CACHE_LINE_SIZE,
+    align_down,
+    align_up,
+    line_base,
+    line_of,
+    line_offset,
+    lines_spanned,
+)
+
+
+def test_line_size_is_64():
+    assert CACHE_LINE_SIZE == 64
+
+
+def test_line_of_basics():
+    assert line_of(0) == 0
+    assert line_of(63) == 0
+    assert line_of(64) == 1
+    assert line_of(128) == 2
+
+
+def test_line_offset_and_base():
+    assert line_offset(70) == 6
+    assert line_base(70) == 64
+    assert line_base(64) == 64
+
+
+@given(st.integers(min_value=0, max_value=2**48))
+def test_decomposition_roundtrip(addr):
+    assert line_base(addr) + line_offset(addr) == addr
+    assert line_base(addr) == line_of(addr) * CACHE_LINE_SIZE
+
+
+def test_lines_spanned_single_line():
+    assert list(lines_spanned(0, 8)) == [0]
+    assert list(lines_spanned(60, 4)) == [0]
+
+
+def test_lines_spanned_straddles():
+    assert list(lines_spanned(60, 8)) == [0, 1]
+    assert list(lines_spanned(0, 129)) == [0, 1, 2]
+
+
+def test_lines_spanned_zero_length():
+    assert list(lines_spanned(100, 0)) == []
+
+
+def test_lines_spanned_negative_raises():
+    with pytest.raises(ConfigurationError):
+        lines_spanned(0, -1)
+
+
+@given(st.integers(min_value=0, max_value=2**32), st.integers(min_value=1, max_value=4096))
+def test_lines_spanned_covers_all_bytes(addr, size):
+    lines = set(lines_spanned(addr, size))
+    assert lines == {line_of(addr + i) for i in (0, size - 1)} | lines
+    assert line_of(addr) in lines
+    assert line_of(addr + size - 1) in lines
+    # Contiguity.
+    assert sorted(lines) == list(range(min(lines), max(lines) + 1))
+
+
+def test_align_up_down():
+    assert align_up(1) == 64
+    assert align_up(64) == 64
+    assert align_down(127) == 64
+    assert align_up(0) == 0
+
+
+def test_align_requires_power_of_two():
+    with pytest.raises(ConfigurationError):
+        align_up(10, 48)
+    with pytest.raises(ConfigurationError):
+        align_down(10, 0)

@@ -1,0 +1,66 @@
+"""All-window average liveness (the ISMM'14 connection)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import ConfigurationError
+from repro.locality.liveness import average_liveness, liveness_counts
+from repro.locality.reference import liveness_brute
+
+
+def test_single_object_whole_trace():
+    # One object live the whole time: every window sees it.
+    lv = average_liveness(np.asarray([1]), np.asarray([10]), 10)
+    np.testing.assert_allclose(lv[1:], np.ones(10))
+
+
+def test_point_lifetime():
+    # An object allocated and freed at time 3 of a 5-long trace.
+    lv = average_liveness(np.asarray([3]), np.asarray([3]), 5)
+    for k in range(1, 6):
+        assert lv[k] == pytest.approx(liveness_brute([3], [3], 5, k))
+
+
+def test_disjoint_lifetimes_sum():
+    starts = np.asarray([1, 6])
+    ends = np.asarray([5, 10])
+    lv = average_liveness(starts, ends, 10)
+    # Any window intersects at least one of the two covering lifetimes.
+    assert np.all(lv[1:] >= 1.0 - 1e-9)
+    # The full window sees both.
+    assert lv[10] == pytest.approx(2.0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.data())
+def test_matches_brute_force(data):
+    n = data.draw(st.integers(min_value=1, max_value=25))
+    count = data.draw(st.integers(min_value=0, max_value=8))
+    starts, ends = [], []
+    for _ in range(count):
+        s = data.draw(st.integers(min_value=1, max_value=n))
+        e = data.draw(st.integers(min_value=s, max_value=n))
+        starts.append(s)
+        ends.append(e)
+    lv = average_liveness(np.asarray(starts, dtype=int), np.asarray(ends, dtype=int), n)
+    for k in range(1, n + 1):
+        assert lv[k] == pytest.approx(liveness_brute(starts, ends, n, k))
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        liveness_counts(np.asarray([0]), np.asarray([2]), 5)
+    with pytest.raises(ConfigurationError):
+        liveness_counts(np.asarray([3]), np.asarray([2]), 5)
+    with pytest.raises(ConfigurationError):
+        liveness_counts(np.asarray([1, 2]), np.asarray([3]), 5)
+
+
+def test_liveness_monotone_in_k():
+    rng = np.random.default_rng(0)
+    starts = rng.integers(1, 20, size=10)
+    ends = np.minimum(starts + rng.integers(0, 10, size=10), 20)
+    lv = average_liveness(starts, ends, 20)
+    assert np.all(np.diff(lv[1:]) >= -1e-9)

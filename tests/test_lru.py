@@ -1,0 +1,120 @@
+"""The O(1) hash-map + doubly-linked-list LRU structure (§III-C)."""
+
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.cache.lru import LruCache
+from repro.common.errors import ConfigurationError
+
+
+def test_insert_and_membership():
+    c = LruCache()
+    c.insert(1)
+    c.insert(2)
+    assert 1 in c and 2 in c and 3 not in c
+    assert len(c) == 2
+
+
+def test_duplicate_insert_rejected():
+    c = LruCache()
+    c.insert(1)
+    with pytest.raises(ConfigurationError):
+        c.insert(1)
+
+
+def test_eviction_order_is_lru():
+    c = LruCache()
+    for k in (1, 2, 3):
+        c.insert(k)
+    assert c.evict_lru() == 1
+    assert c.evict_lru() == 2
+    assert c.evict_lru() == 3
+
+
+def test_touch_moves_to_mru():
+    c = LruCache()
+    for k in (1, 2, 3):
+        c.insert(k)
+    assert c.touch(1)
+    assert c.evict_lru() == 2
+    assert list(c) == [3, 1]
+
+
+def test_touch_missing_returns_false():
+    c = LruCache()
+    assert not c.touch(9)
+
+
+def test_evict_empty_raises():
+    with pytest.raises(ConfigurationError):
+        LruCache().evict_lru()
+
+
+def test_remove():
+    c = LruCache()
+    for k in (1, 2, 3):
+        c.insert(k)
+    assert c.remove(2)
+    assert not c.remove(2)
+    assert list(c) == [1, 3]
+    c.check_invariants()
+
+
+def test_clear_returns_lru_order():
+    c = LruCache()
+    for k in (5, 6, 7):
+        c.insert(k)
+    c.touch(5)
+    assert c.clear() == [6, 7, 5]
+    assert len(c) == 0
+    assert c.peek_lru() is None
+
+
+def test_peek_lru():
+    c = LruCache()
+    c.insert(4)
+    c.insert(9)
+    assert c.peek_lru() == 4
+
+
+class LruModel(RuleBasedStateMachine):
+    """Stateful comparison against a plain list model."""
+
+    def __init__(self):
+        super().__init__()
+        self.cache = LruCache()
+        self.model = []  # LRU .. MRU
+
+    @rule(key=st.integers(min_value=0, max_value=20))
+    def insert_or_touch(self, key):
+        if key in self.model:
+            assert self.cache.touch(key)
+            self.model.remove(key)
+            self.model.append(key)
+        else:
+            self.cache.insert(key)
+            self.model.append(key)
+
+    @rule()
+    def evict(self):
+        if self.model:
+            assert self.cache.evict_lru() == self.model.pop(0)
+
+    @rule(key=st.integers(min_value=0, max_value=20))
+    def remove(self, key):
+        present = key in self.model
+        assert self.cache.remove(key) == present
+        if present:
+            self.model.remove(key)
+
+    @invariant()
+    def agrees_with_model(self):
+        assert list(self.cache) == self.model
+        assert len(self.cache) == len(self.model)
+        self.cache.check_invariants()
+
+
+TestLruStateful = LruModel.TestCase
+TestLruStateful.settings = settings(max_examples=40, deadline=None)

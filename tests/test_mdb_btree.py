@@ -1,0 +1,135 @@
+"""The copy-on-write B+-tree, property-tested against a dict model."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mdb.btree import BPlusTree, CowContext
+from repro.mdb.ops import RecordingOps
+from repro.mdb.pages import PageAllocator
+
+
+def make_tree(page_size=128):
+    ops = RecordingOps(record_loads=False)
+    alloc = PageAllocator(ops, page_size)   # small pages -> deep trees
+    return BPlusTree(ops, alloc), ops
+
+
+def insert_all(tree, root, items):
+    cow = CowContext()
+    for k, v in items:
+        root = tree.insert(root, k, v, cow)
+    return root, cow
+
+
+def test_empty_tree():
+    tree, _ = make_tree()
+    root = tree.create_empty()
+    assert tree.get(root, 1) is None
+    assert list(tree.scan(root)) == []
+    assert tree.check(root) == 0
+
+
+def test_insert_and_get():
+    tree, _ = make_tree()
+    root = tree.create_empty()
+    root, _ = insert_all(tree, root, [(5, "five"), (1, "one"), (9, "nine")])
+    assert tree.get(root, 5) == "five"
+    assert tree.get(root, 1) == "one"
+    assert tree.get(root, 9) == "nine"
+    assert tree.get(root, 7) is None
+
+
+def test_overwrite():
+    tree, _ = make_tree()
+    root = tree.create_empty()
+    root, _ = insert_all(tree, root, [(5, "a"), (5, "b")])
+    assert tree.get(root, 5) == "b"
+    assert tree.check(root) == 1
+
+
+def test_split_grows_depth():
+    tree, _ = make_tree(page_size=96)   # capacity 5 entries
+    root = tree.create_empty()
+    root, _ = insert_all(tree, root, [(i, i) for i in range(40)])
+    assert tree.depth(root) >= 2
+    assert tree.check(root) == 40
+    assert [k for k, _ in tree.scan(root)] == list(range(40))
+
+
+def test_cow_preserves_old_root():
+    """Snapshot safety: the pre-transaction root still sees old data."""
+    tree, _ = make_tree()
+    old_root = tree.create_empty()
+    old_root, _ = insert_all(tree, old_root, [(i, i) for i in range(30)])
+    new_root, _ = insert_all(tree, old_root, [(100, "new"), (3, "patched")])
+    assert tree.get(old_root, 100) is None
+    assert tree.get(old_root, 3) == 3
+    assert tree.get(new_root, 100) == "new"
+    assert tree.get(new_root, 3) == "patched"
+
+
+def test_cow_reuses_copies_within_txn():
+    tree, _ = make_tree()
+    root = tree.create_empty()
+    root, cow1 = insert_all(tree, root, [(i, i) for i in range(10)])
+    # A second transaction hitting the same leaf copies each page once.
+    cow2 = CowContext()
+    r2 = tree.insert(root, 100, 1, cow2)
+    copied_first = cow2.pages_copied
+    r2 = tree.insert(r2, 101, 1, cow2)
+    assert cow2.pages_copied == copied_first   # reused, not re-copied
+
+
+def test_delete():
+    tree, _ = make_tree(page_size=96)
+    root = tree.create_empty()
+    root, _ = insert_all(tree, root, [(i, i) for i in range(25)])
+    cow = CowContext()
+    root, found = tree.delete(root, 13, cow)
+    assert found
+    assert tree.get(root, 13) is None
+    assert tree.check(root) == 24
+    root, found = tree.delete(root, 13, cow)
+    assert not found
+
+
+def test_delete_everything_collapses_root():
+    tree, _ = make_tree(page_size=96)
+    root = tree.create_empty()
+    root, _ = insert_all(tree, root, [(i, i) for i in range(20)])
+    cow = CowContext()
+    for i in range(20):
+        root, found = tree.delete(root, i, cow)
+        assert found
+        tree.check(root)
+    assert list(tree.scan(root)) == []
+    assert tree.depth(root) == 1
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["put", "del"]),
+            st.integers(min_value=0, max_value=60),
+        ),
+        max_size=120,
+    )
+)
+def test_matches_dict_model(ops_list):
+    tree, _ = make_tree(page_size=96)
+    root = tree.create_empty()
+    model = {}
+    cow = CowContext()
+    for op, key in ops_list:
+        if op == "put":
+            root = tree.insert(root, key, key * 7, cow)
+            model[key] = key * 7
+        else:
+            root, found = tree.delete(root, key, cow)
+            assert found == (key in model)
+            model.pop(key, None)
+    assert tree.check(root) == len(model)
+    assert dict(tree.scan(root)) == model
+    for key in range(61):
+        assert tree.get(root, key) == model.get(key)

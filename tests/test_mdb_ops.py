@@ -1,0 +1,86 @@
+"""The MDB persistence backends (recording and Atlas-backed)."""
+
+import pytest
+
+from repro.atlas import AtlasRuntime
+from repro.common.errors import ConfigurationError
+from repro.common.events import EventKind
+from repro.mdb.ops import AtlasOps, RecordingOps
+from repro.nvram.memory import NVRAM_BASE
+
+
+def test_recording_ops_shadow_roundtrip():
+    ops = RecordingOps()
+    a = ops.alloc(64)
+    assert a >= NVRAM_BASE and a % 64 == 0
+    ops.store(a, "v")
+    assert ops.load(a) == "v"
+    assert ops.load(a + 8) is None
+
+
+def test_recording_ops_allocations_disjoint():
+    ops = RecordingOps()
+    a = ops.alloc(100)
+    b = ops.alloc(10)
+    assert b >= a + 100
+
+
+def test_recording_ops_event_kinds():
+    ops = RecordingOps(load_sample=1)
+    with ops.fase():
+        a = ops.alloc(8)
+        ops.store(a, 1)
+        ops.load(a)
+        ops.work(5)
+    kinds = [e.kind for e in ops.events]
+    assert kinds == [
+        EventKind.FASE_BEGIN,
+        EventKind.STORE,
+        EventKind.LOAD,
+        EventKind.WORK,
+        EventKind.FASE_END,
+    ]
+
+
+def test_recording_ops_load_sampling():
+    ops = RecordingOps(load_sample=4)
+    a = ops.alloc(8)
+    for _ in range(8):
+        ops.load(a)
+    loads = [e for e in ops.events if e.kind == EventKind.LOAD]
+    assert len(loads) == 2      # one in four recorded
+
+
+def test_recording_ops_loads_can_be_disabled():
+    ops = RecordingOps(record_loads=False)
+    a = ops.alloc(8)
+    ops.store(a, 3)
+    assert ops.load(a) == 3
+    assert all(e.kind != EventKind.LOAD for e in ops.events)
+
+
+def test_recording_ops_take_events_resets():
+    ops = RecordingOps()
+    ops.work(1)
+    events = ops.take_events()
+    assert len(events) == 1
+    assert ops.events == []
+
+
+def test_recording_ops_validation():
+    with pytest.raises(ConfigurationError):
+        RecordingOps(load_sample=0)
+    with pytest.raises(ConfigurationError):
+        RecordingOps().alloc(0)
+
+
+def test_atlas_ops_is_durable():
+    rt = AtlasRuntime(technique="LA")
+    ops = AtlasOps(rt)
+    a = ops.alloc(8)
+    with ops.fase():
+        ops.store(a, "durable")
+        ops.work(3)
+    assert ops.load(a) == "durable"
+    rt.finish()
+    assert rt.machine.memory.read(a) == "durable"

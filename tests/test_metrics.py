@@ -1,0 +1,48 @@
+"""Metric helpers and text rendering."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.experiments.metrics import (
+    arithmetic_mean,
+    ascii_series,
+    format_table,
+    geometric_mean,
+    speedup,
+)
+from repro.nvram.stats import RunResult, ThreadStats
+
+
+def result_with_time(cycles):
+    return RunResult("w", "T", 1, [ThreadStats(cycles=cycles)], 0, 0)
+
+
+def test_speedup():
+    assert speedup(result_with_time(100), result_with_time(25)) == 4.0
+    with pytest.raises(ConfigurationError):
+        speedup(result_with_time(100), result_with_time(0))
+
+
+def test_means():
+    assert arithmetic_mean([1, 2, 3]) == 2.0
+    assert geometric_mean([1, 4]) == pytest.approx(2.0)
+    with pytest.raises(ConfigurationError):
+        arithmetic_mean([])
+    with pytest.raises(ConfigurationError):
+        geometric_mean([1, 0])
+
+
+def test_format_table_alignment():
+    text = format_table(["name", "v"], [["a", 1], ["long-name", 22]])
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert lines[0].startswith("name")
+    assert set(lines[1]) <= {"-", " "}
+    # All rows align to the same width grid.
+    assert lines[2].index("1") == lines[3].index("2")
+
+
+def test_ascii_series():
+    text = ascii_series({"s": [0.5, 0.25]}, [1, 2], title="t")
+    assert text.startswith("t")
+    assert "0.5" in text and "0.25" in text

@@ -1,0 +1,86 @@
+"""The SVG chart renderer."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.experiments.plots import (
+    render_artifact_svg,
+    svg_bar_chart,
+    svg_line_chart,
+    write_artifact_svgs,
+)
+from repro.experiments.tables import Artifact
+
+
+def test_line_chart_structure():
+    svg = svg_line_chart(
+        {"a": ([1, 2, 3], [0.5, 0.2, 0.1]), "b": ([1, 2, 3], [0.4, 0.4, 0.4])},
+        title="T & T", xlabel="x", ylabel="y",
+    )
+    assert svg.startswith("<svg")
+    assert svg.rstrip().endswith("</svg>")
+    assert svg.count("<polyline") == 2
+    assert svg.count("<circle") == 6
+    assert "T &amp; T" in svg                 # titles are escaped
+
+
+def test_line_chart_validation():
+    with pytest.raises(ConfigurationError):
+        svg_line_chart({}, "t")
+    with pytest.raises(ConfigurationError):
+        svg_line_chart({"a": ([], [])}, "t")
+
+
+def test_bar_chart_structure():
+    svg = svg_bar_chart(
+        ["one", "two"], {"s1": [1.0, 2.0], "s2": [0.5, 1.5]}, title="bars"
+    )
+    assert svg.count("<rect") == 1 + 4        # background + 4 bars
+    assert "one" in svg and "two" in svg
+
+
+def test_bar_chart_validation():
+    with pytest.raises(ConfigurationError):
+        svg_bar_chart([], {"a": []}, "t")
+
+
+def artifact(name, series):
+    art = Artifact(name, f"title {name}")
+    art.series = series
+    return art
+
+
+def test_render_figure2():
+    art = artifact("figure2", {"miss_ratio": {"x": [1, 2], "y": [0.9, 0.1]}})
+    out = render_artifact_svg(art)
+    assert list(out) == ["figure2.svg"]
+
+
+def test_render_figure7_multi_panel():
+    panel = {"x": [1, 2], "actual": [0.5, 0.1], "full_trace": [0.5, 0.12],
+             "sampled": [0.55, 0.1]}
+    art = artifact("figure7", {"barnes": panel, "fmm": panel})
+    out = render_artifact_svg(art)
+    assert set(out) == {"figure7_barnes.svg", "figure7_fmm.svg"}
+
+
+def test_render_figure5_and_8():
+    art5 = artifact(
+        "figure5", {"p": {"x": [1, 2], "sc_over_at": [1.2, 1.1],
+                          "sco_over_at": [1.3, 1.2]}}
+    )
+    assert "figure5.svg" in render_artifact_svg(art5)
+    art8 = artifact("figure8", {"overhead": {"x": ["a/1", "b/8"], "y": [3, 7]}})
+    assert "figure8.svg" in render_artifact_svg(art8)
+
+
+def test_render_unknown_artifact():
+    with pytest.raises(ConfigurationError):
+        render_artifact_svg(artifact("table1", {}))
+
+
+def test_write_artifact_svgs(tmp_path):
+    art = artifact("figure2", {"miss_ratio": {"x": [1, 2], "y": [0.9, 0.1]}})
+    paths = write_artifact_svgs(art, str(tmp_path / "charts"))
+    assert len(paths) == 1
+    assert (tmp_path / "charts" / "figure2.svg").read_text().startswith("<svg")

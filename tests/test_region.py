@@ -1,0 +1,81 @@
+"""Persistent regions and the region manager."""
+
+import pytest
+
+from repro.atlas.region import PersistentRegion, RegionManager
+from repro.common.errors import ConfigurationError
+from repro.common.geometry import CACHE_LINE_SIZE
+from repro.nvram.memory import NVRAM_BASE
+
+
+def test_region_must_live_in_nvram():
+    with pytest.raises(ConfigurationError):
+        PersistentRegion("bad", 0, 4096)
+
+
+def test_root_slot_reserved():
+    r = PersistentRegion("r", NVRAM_BASE, 4096)
+    assert r.root_addr == NVRAM_BASE
+    first = r.alloc(8)
+    assert first >= NVRAM_BASE + CACHE_LINE_SIZE
+
+
+def test_alloc_line_alignment():
+    r = PersistentRegion("r", NVRAM_BASE, 65536)
+    a = r.alloc(10)
+    b = r.alloc(10)
+    assert a % CACHE_LINE_SIZE == 0
+    assert b % CACHE_LINE_SIZE == 0
+    assert b > a
+    c = r.alloc(8, line_aligned=False)
+    d = r.alloc(8, line_aligned=False)
+    assert d == c + 8
+
+
+def test_alloc_exhaustion():
+    r = PersistentRegion("r", NVRAM_BASE, 2 * CACHE_LINE_SIZE)
+    r.alloc(CACHE_LINE_SIZE)
+    with pytest.raises(ConfigurationError):
+        r.alloc(CACHE_LINE_SIZE)
+
+
+def test_alloc_validation():
+    r = PersistentRegion("r", NVRAM_BASE, 4096)
+    with pytest.raises(ConfigurationError):
+        r.alloc(0)
+
+
+def test_contains():
+    r = PersistentRegion("r", NVRAM_BASE, 4096)
+    assert r.contains(NVRAM_BASE)
+    assert r.contains(NVRAM_BASE + 4095)
+    assert not r.contains(NVRAM_BASE + 4096)
+
+
+def test_manager_find_or_create_idempotent():
+    mgr = RegionManager()
+    a = mgr.find_or_create("data", 4096)
+    b = mgr.find_or_create("data", 4096)
+    assert a is b
+    assert mgr.get("data") is a
+    assert mgr.get("nope") is None
+
+
+def test_manager_deterministic_layout():
+    """Same names, same order => same addresses (recovery depends on it)."""
+    m1, m2 = RegionManager(), RegionManager()
+    for name in ("log", "heap", "extra"):
+        assert m1.find_or_create(name, 8192).base == m2.find_or_create(name, 8192).base
+
+
+def test_manager_regions_disjoint():
+    mgr = RegionManager()
+    a = mgr.find_or_create("a", 4096)
+    b = mgr.find_or_create("b", 4096)
+    assert a.end <= b.base
+    assert list(mgr) == [a, b]
+
+
+def test_manager_rejects_bad_size():
+    with pytest.raises(ConfigurationError):
+        RegionManager().find_or_create("x", 0)

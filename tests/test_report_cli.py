@@ -1,0 +1,44 @@
+"""The EXPERIMENTS.md generator and the command-line entry point."""
+
+
+import pytest
+
+from repro.experiments.report import GENERATORS, generate
+from repro.experiments.__main__ import main
+
+
+def test_generators_cover_every_artifact():
+    assert set(GENERATORS) == {
+        "table1", "table2", "table3", "table4",
+        "figure2", "figure4", "figure5", "figure6", "figure7", "figure8",
+    }
+
+
+def test_generate_subset(tiny_harness, tmp_path):
+    path = tmp_path / "EXP.md"
+    body = generate(tiny_harness, artifacts=["figure2"], write_path=str(path))
+    assert "Figure 2" in body
+    assert "scale = 0.02" in body
+    assert path.read_text() == body
+
+
+def test_cli_single_artifact(capsys):
+    rc = main(["figure2", "--scale", "0.02", "--seed", "7"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "Figure 2" in out
+    assert "selected size" in out
+
+
+def test_cli_rejects_unknown_artifact(capsys):
+    with pytest.raises(SystemExit):
+        main(["nonsense"])
+
+
+def test_cli_all_writes_report(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    rc = main(["all", "--scale", "0.02", "--seed", "7", "--write", "OUT.md"])
+    assert rc == 0
+    text = (tmp_path / "OUT.md").read_text()
+    for title in ("Table I", "Table III", "Figure 7"):
+        assert title in text

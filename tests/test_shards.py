@@ -1,0 +1,82 @@
+"""SHARDS sampled MRC vs the exact stack-distance curve."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.locality.shards import shards_filter, shards_mrc
+from repro.locality.stack_distance import exact_mrc
+from repro.locality.trace import WriteTrace
+
+
+def loop_trace(lines_count=40, reps=60, seed=0):
+    rng = np.random.default_rng(seed)
+    lines = []
+    for _ in range(reps):
+        lines.extend(range(lines_count))
+        lines.extend(rng.integers(1000, 1400, size=6).tolist())
+    return WriteTrace(lines)
+
+
+def test_rate_one_is_exact():
+    t = loop_trace()
+    full = exact_mrc(t, honor_fases=False)
+    sampled = shards_mrc(t, rate=1.0, honor_fases=False)
+    for c in (1, 10, 40, 41, 60):
+        assert sampled.miss_ratio(c) == pytest.approx(full.miss_ratio(c), abs=1e-9)
+
+
+def test_spatial_hashing_keeps_whole_lines():
+    t = loop_trace()
+    sample = shards_filter(t, 0.3)
+    kept = set(sample.lines.tolist())
+    # Every kept line keeps *all* its accesses.
+    for line in kept:
+        assert np.sum(sample.lines == line) == np.sum(t.lines == line)
+
+
+def test_sampled_curve_approximates_exact():
+    t = loop_trace(lines_count=60, reps=80)
+    full = exact_mrc(t, honor_fases=False)
+    approx = shards_mrc(t, rate=0.25, honor_fases=False)
+    # Away from the knee the curves agree pointwise...
+    for c in (5, 30, 150):
+        assert approx.miss_ratio(c) == pytest.approx(
+            full.miss_ratio(c), abs=0.12
+        )
+    # ... and the knee (the 0.5-crossing) lands within sampling noise
+    # of the true position (a 60-line loop: crossing near 61-67).
+    def crossing(mrc):
+        for c in range(1, 200):
+            if mrc.miss_ratio(c) < 0.5:
+                return c
+        return 200
+
+    assert crossing(approx) == pytest.approx(crossing(full), rel=0.35)
+
+
+def test_sampled_knee_position_preserved():
+    """What matters for the paper's use: the knee survives sampling."""
+    from repro.locality.knee import SelectionPolicy, select_cache_size
+
+    t = loop_trace(lines_count=24, reps=100)
+    policy = SelectionPolicy(max_size=50)
+    full_sel = select_cache_size(exact_mrc(t, honor_fases=False), policy)
+    samp_sel = select_cache_size(shards_mrc(t, 0.5, honor_fases=False), policy)
+    assert abs(full_sel - samp_sel) <= 4
+
+
+def test_validation():
+    t = loop_trace()
+    with pytest.raises(ConfigurationError):
+        shards_filter(t, 0.0)
+    with pytest.raises(ConfigurationError):
+        shards_filter(t, 1.5)
+    with pytest.raises(ConfigurationError):
+        shards_mrc(WriteTrace([1, 2, 3]), rate=1e-7)
+
+
+def test_sampling_shrinks_work():
+    t = loop_trace()
+    sample = shards_filter(t, 0.2)
+    assert 0 < sample.n < t.n * 0.6

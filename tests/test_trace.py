@@ -1,0 +1,95 @@
+"""WriteTrace construction and derived interval structure."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import ConfigurationError
+from repro.locality.trace import WriteTrace
+
+
+def test_from_string_basics():
+    t = WriteTrace.from_string("abb")
+    assert t.n == 3
+    assert t.m == 2
+    assert t.num_fases == 1
+
+
+def test_from_string_fases():
+    t = WriteTrace.from_string("ab|ab|ab")
+    assert t.n == 6
+    assert t.m == 2
+    assert t.num_fases == 3
+
+
+def test_from_addresses_maps_to_lines():
+    t = WriteTrace.from_addresses([0, 8, 64, 100, 128])
+    assert list(t.lines) == [0, 0, 1, 1, 2]
+
+
+def test_mismatched_fase_ids_raise():
+    with pytest.raises(ConfigurationError):
+        WriteTrace([1, 2, 3], [0, 0])
+
+
+def test_reuse_intervals_abb():
+    starts, ends = WriteTrace.from_string("abb").reuse_intervals()
+    assert list(starts) == [2]
+    assert list(ends) == [3]
+
+
+def test_reuse_intervals_count_is_n_minus_m():
+    t = WriteTrace.from_string("abcabcaa")
+    starts, ends = t.reuse_intervals()
+    assert len(starts) == t.n - t.m
+    assert np.all(ends > starts)
+
+
+def test_reuse_intervals_are_consecutive_accesses():
+    t = WriteTrace.from_string("aba")
+    starts, ends = t.reuse_intervals()
+    # a at times 1 and 3 -> one interval [1, 3]; b has no reuse.
+    assert list(starts) == [1]
+    assert list(ends) == [3]
+
+
+def test_first_last_times():
+    t = WriteTrace.from_string("abca")
+    first, last = t.first_last_times()
+    ids = t.dense_ids()
+    # Check per-occurrence consistency.
+    for i, d in enumerate(ids):
+        assert first[d] <= i + 1 <= last[d]
+    assert sorted(first) == [1, 2, 3]
+    assert sorted(last) == [2, 3, 4]
+
+
+@given(st.lists(st.integers(min_value=0, max_value=6), min_size=1, max_size=40))
+def test_interval_structure_consistency(lines):
+    t = WriteTrace(lines)
+    starts, ends = t.reuse_intervals()
+    assert len(starts) == t.n - t.m
+    # Every interval is a pair of consecutive accesses to the same line.
+    arr = list(lines)
+    for s, e in zip(starts, ends):
+        assert arr[s - 1] == arr[e - 1]
+        assert arr[s - 1] not in arr[s : e - 1]
+
+
+def test_head_and_concat():
+    a = WriteTrace.from_string("ab|cd")
+    b = WriteTrace.from_string("ef")
+    assert a.head(2).n == 2
+    joined = a.concat(b)
+    assert joined.n == 6
+    # FASE ids stay disjoint across the concatenation.
+    assert joined.num_fases == 3
+
+
+def test_empty_trace():
+    t = WriteTrace([])
+    assert t.n == 0
+    assert t.m == 0
+    starts, ends = t.reuse_intervals()
+    assert len(starts) == 0

@@ -1,0 +1,110 @@
+"""Trace persistence, text import, and the analysis CLI."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.locality.__main__ import main
+from repro.locality.trace import WriteTrace
+from repro.locality.traceio import (
+    analyze,
+    format_analysis,
+    load_text_trace,
+    load_trace,
+    save_trace,
+)
+
+
+def test_npz_roundtrip(tmp_path):
+    t = WriteTrace([1, 2, 1, 3], [0, 0, 1, 1])
+    path = str(tmp_path / "t.npz")
+    save_trace(t, path)
+    back = load_trace(path)
+    assert np.array_equal(back.lines, t.lines)
+    assert np.array_equal(back.fase_ids, t.fase_ids)
+
+
+def test_load_trace_missing_or_wrong(tmp_path):
+    with pytest.raises(ConfigurationError):
+        load_trace(str(tmp_path / "nope.npz"))
+    bad = tmp_path / "bad.npz"
+    np.savez(bad, other=np.arange(3))
+    with pytest.raises(ConfigurationError):
+        load_trace(str(bad))
+
+
+def test_text_import(tmp_path):
+    path = tmp_path / "t.txt"
+    path.write_text(
+        "# a comment\n"
+        "0x100 0\n"
+        "0x108 0\n"       # same cache line as 0x100
+        "0x140 1\n"
+        "\n"
+        "320 1\n"         # decimal, same line as 0x140
+    )
+    t = load_text_trace(str(path))
+    assert t.n == 4
+    assert t.lines[0] == t.lines[1]
+    assert t.lines[2] == t.lines[3]
+    assert t.num_fases == 2
+
+
+def test_text_import_line_ids(tmp_path):
+    path = tmp_path / "t.txt"
+    path.write_text("5\n5\n6\n")
+    t = load_text_trace(str(path), addresses_are_lines=True)
+    assert list(t.lines) == [5, 5, 6]
+
+
+def test_text_import_errors(tmp_path):
+    empty = tmp_path / "e.txt"
+    empty.write_text("# nothing\n")
+    with pytest.raises(ConfigurationError):
+        load_text_trace(str(empty))
+    bad = tmp_path / "b.txt"
+    bad.write_text("1 2 3\n")
+    with pytest.raises(ConfigurationError):
+        load_text_trace(str(bad))
+    notnum = tmp_path / "n.txt"
+    notnum.write_text("xyz\n")
+    with pytest.raises(ConfigurationError):
+        load_text_trace(str(notnum))
+
+
+def test_analyze_summary():
+    t = WriteTrace(list(range(10)) * 30)
+    summary = analyze(t, honor_fases=False)
+    assert summary["n"] == 300
+    assert summary["distinct_lines"] == 10
+    assert summary["selected_size"] in (10, 11)
+    assert summary["miss_ratio_at_selected"] < 0.1
+    # Theory and exact stack-distance curve agree on this steady loop.
+    assert summary["exact_miss_ratio_at_selected"] == pytest.approx(
+        summary["miss_ratio_at_selected"], abs=0.05
+    )
+    text = format_analysis(summary)
+    assert "selected cache size" in text
+
+
+def test_analyze_empty_rejected():
+    with pytest.raises(ConfigurationError):
+        analyze(WriteTrace([]))
+
+
+def test_cli_npz(tmp_path, capsys):
+    t = WriteTrace(list(range(6)) * 20)
+    path = str(tmp_path / "t.npz")
+    save_trace(t, path)
+    assert main([path, "--mrc"]) == 0
+    out = capsys.readouterr().out
+    assert "selected cache size" in out
+    assert "miss ratio" in out
+
+
+def test_cli_text_no_fases(tmp_path, capsys):
+    path = tmp_path / "t.txt"
+    path.write_text("".join(f"{line}\n" for line in [1, 2, 1, 2] * 10))
+    assert main([str(path), "--text", "--lines", "--no-fases"]) == 0
+    out = capsys.readouterr().out
+    assert "accesses            : 40" in out
