@@ -79,15 +79,40 @@ class LruCache:
         node = self._map.get(key)
         if node is None:
             return False
-        if node is not self._tail:
-            self._unlink(node)
-            self._append(node)
+        tail = self._tail
+        if node is not tail:
+            # _unlink + _append fused inline: touch is the per-store hit
+            # path of the write-combining cache, and the two calls cost
+            # more than the pointer swaps.  node is not tail, so
+            # node.next is a real node and tail is not None.
+            prev = node.prev
+            nxt = node.next
+            if prev is not None:
+                prev.next = nxt
+            else:
+                self._head = nxt
+            nxt.prev = prev
+            node.prev = tail
+            node.next = None
+            tail.next = node
+            self._tail = node
         return True
 
     def insert(self, key: int) -> None:
         """Insert ``key`` as most recently used (must be absent)."""
         if key in self._map:
             raise ConfigurationError(f"key already present: {key}")
+        self.insert_absent(key)
+
+    def insert_absent(self, key: int) -> None:
+        """Insert ``key`` the caller *guarantees* is absent.
+
+        Skips the membership check of :meth:`insert` — the write cache's
+        miss path already knows the key is absent from the failed
+        ``touch``, and the duplicate hash lookup is measurable on the
+        per-store hot path.  Inserting a present key through this method
+        corrupts the map/list invariants.
+        """
         node = _Node(key)
         self._map[key] = node
         self._append(node)

@@ -37,6 +37,11 @@ class PersistenceTechnique:
     name = "abstract"
     #: Bookkeeping cycles charged per persistent store.
     cost_per_store = 0
+    #: Declares ``on_store`` a guaranteed no-op, letting the machine's
+    #: batched loop skip the call (and the stats hand-off around it)
+    #: per persistent store.  Only set True when ``on_store`` neither
+    #: reads nor writes any state.
+    on_store_noop = False
 
     def __init__(self) -> None:
         self.port = None
@@ -156,6 +161,20 @@ class SoftwareCacheTechnique(PersistenceTechnique):
         self.shared_size = shared_size
         if name is not None:
             self.name = name
+        if controller is None and shared_size is None:
+            # Fixed-size operation (SC-offline): shadow on_store with a
+            # closure that skips the adaptation checks and the self.cache
+            # lookup on every store (the port resolves late: it is only
+            # needed on the rare eviction, and bind() comes later).
+            cache_access = self.cache.access
+            invalidate = not use_clwb
+
+            def _fixed_on_store(line: int) -> None:
+                evicted = cache_access(line)
+                if evicted is not None:
+                    self.port.flush_async(evicted, "eviction", invalidate=invalidate)
+
+            self.on_store = _fixed_on_store
 
     def _resize(self, new_size: int) -> None:
         port = self.port
@@ -222,6 +241,7 @@ class BestTechnique(PersistenceTechnique):
 
     name = "BEST"
     cost_per_store = 0
+    on_store_noop = True
 
 
 #: Names accepted by :func:`make_factory` and the experiment harness.

@@ -48,18 +48,46 @@ class WriteCombiningCache:
         line and, if the cache exceeded capacity, returns the evicted LRU
         line — the caller must issue its flush.
         """
-        if self._lru.touch(line):
+        # This is the software cache's per-store path — the simulator
+        # calls it for every persistent store under SC/SC-offline — so
+        # LruCache.touch is inlined here (same pointer swaps; kept in
+        # sync with lru.py, guarded by both files' invariant tests).
+        lru = self._lru
+        node = lru._map.get(line)
+        if node is not None:
+            tail = lru._tail
+            if node is not tail:
+                prev = node.prev
+                nxt = node.next
+                if prev is not None:
+                    prev.next = nxt
+                else:
+                    lru._head = nxt
+                nxt.prev = prev
+                node.prev = tail
+                node.next = None
+                tail.next = node
+                lru._tail = node
             self.hits += 1
             return None
         self.misses += 1
-        self._lru.insert(line)
-        if len(self._lru) > self.capacity:
+        # The lookup above already proved absence — insert without
+        # re-checking membership (one hash lookup per miss on the hot path).
+        lru.insert_absent(line)
+        if len(lru) > self.capacity:
             self.evictions += 1
-            return self._lru.evict_lru()
+            return lru.evict_lru()
         return None
 
     def drain(self) -> List[int]:
-        """Empty the cache (end of FASE); return lines to flush, LRU first."""
+        """Empty the cache (end of FASE); return lines to flush, LRU first.
+
+        Draining an already-empty cache is a no-op and does not count as
+        a drain: back-to-back FASEs with no intervening stores would
+        otherwise inflate the ``drains`` statistic without any flush work.
+        """
+        if not len(self._lru):
+            return []
         self.drains += 1
         return self._lru.clear()
 

@@ -28,11 +28,27 @@ Events
 ``FaseBegin()`` / ``FaseEnd()``
     Failure-atomic section boundaries.  FASEs may nest; persistence is
     only guaranteed at the end of an *outermost* FASE, matching Atlas.
+
+Batched representation
+----------------------
+Even with ``__slots__``, one Python object per event dominates the
+simulator's run time: the machine spends more cycles resuming workload
+generator frames and allocating ``Store`` instances than it spends in
+the cache and flush models.  :class:`EventBatch` is the compact
+alternative — three parallel ``array`` columns (kind / addr-or-amount /
+size, ~17 bytes per event) that a workload fills by appending plain
+integers and the machine consumes with an indexed loop, no per-event
+allocation at all.  Workloads expose batches through
+``Workload.batch_streams`` *alongside* the per-object ``streams``; both
+encodings describe the same event sequence, and the machine's two
+execution paths are required (and tested) to produce bit-identical
+statistics.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, Union
+from array import array
+from typing import Iterable, Iterator, Union
 
 
 class EventKind:
@@ -109,6 +125,148 @@ class FaseEnd:
 
 Event = Union[Store, Load, Work, FaseBegin, FaseEnd]
 EventStream = Iterator[Event]
+
+
+class EventBatch:
+    """A run of events as parallel integer columns (no per-event objects).
+
+    Columns (all the same length):
+
+    ``kinds``
+        One :class:`EventKind` tag per event (signed byte array).
+    ``args``
+        The event's primary integer: byte address for ``STORE``/``LOAD``,
+        instruction count for ``WORK``, 0 for FASE boundaries.
+    ``sizes``
+        Access size in bytes for ``STORE``/``LOAD``, 0 otherwise.
+
+    Batches carry no value payloads; crash/recovery runs that need
+    ``Store.value`` use the per-object encoding (the machine falls back
+    automatically when value tracking is on).
+    """
+
+    __slots__ = ("kinds", "args", "sizes")
+
+    def __init__(self) -> None:
+        self.kinds = array("b")
+        self.args = array("q")
+        self.sizes = array("q")
+
+    def __len__(self) -> int:
+        return len(self.kinds)
+
+    def __repr__(self) -> str:
+        return f"EventBatch(len={len(self.kinds)})"
+
+    # -- building --------------------------------------------------------
+
+    def append_store(self, addr: int, size: int = 8) -> None:
+        """Append a persistent-or-not store of ``size`` bytes at ``addr``."""
+        self.kinds.append(EventKind.STORE)
+        self.args.append(addr)
+        self.sizes.append(size)
+
+    def append_load(self, addr: int, size: int = 8) -> None:
+        """Append a load of ``size`` bytes at ``addr``."""
+        self.kinds.append(EventKind.LOAD)
+        self.args.append(addr)
+        self.sizes.append(size)
+
+    def append_work(self, amount: int) -> None:
+        """Append ``amount`` instructions of computation."""
+        self.kinds.append(EventKind.WORK)
+        self.args.append(amount)
+        self.sizes.append(0)
+
+    def append_fase_begin(self) -> None:
+        """Append a failure-atomic-section entry."""
+        self.kinds.append(EventKind.FASE_BEGIN)
+        self.args.append(0)
+        self.sizes.append(0)
+
+    def append_fase_end(self) -> None:
+        """Append a failure-atomic-section exit."""
+        self.kinds.append(EventKind.FASE_END)
+        self.args.append(0)
+        self.sizes.append(0)
+
+    def append_event(self, ev: Event) -> None:
+        """Append one per-object event (payload values are dropped)."""
+        kind = ev.kind
+        self.kinds.append(kind)
+        if kind == EventKind.STORE or kind == EventKind.LOAD:
+            self.args.append(ev.addr)
+            self.sizes.append(ev.size)
+        elif kind == EventKind.WORK:
+            self.args.append(ev.amount)
+            self.sizes.append(0)
+        else:
+            self.args.append(0)
+            self.sizes.append(0)
+
+    @classmethod
+    def from_events(cls, events: Iterable[Event]) -> "EventBatch":
+        """Pack an event sequence into one batch (values are dropped)."""
+        batch = cls()
+        for ev in events:
+            batch.append_event(ev)
+        return batch
+
+    # -- expanding -------------------------------------------------------
+
+    def events(self) -> Iterator[Event]:
+        """Expand back into per-object events (the reference decoding)."""
+        kinds = self.kinds
+        args = self.args
+        sizes = self.sizes
+        for i in range(len(kinds)):
+            kind = kinds[i]
+            if kind == EventKind.STORE:
+                yield Store(args[i], sizes[i])
+            elif kind == EventKind.LOAD:
+                yield Load(args[i], sizes[i])
+            elif kind == EventKind.WORK:
+                yield Work(args[i])
+            elif kind == EventKind.FASE_BEGIN:
+                yield FaseBegin()
+            else:
+                yield FaseEnd()
+
+
+BatchStream = Iterator[EventBatch]
+
+#: Default events per batch when converting a per-object stream.
+BATCH_CHUNK = 4096
+
+
+def batches_from_events(
+    events: EventStream, chunk: int = BATCH_CHUNK
+) -> BatchStream:
+    """Chunk a per-object event stream into :class:`EventBatch` runs.
+
+    A compatibility adapter for workloads without a native batch
+    emitter; it still pays the source stream's per-event costs once, so
+    native emitters are preferred on hot paths.
+    """
+    batch = EventBatch()
+    append = batch.append_event
+    n = 0
+    for ev in events:
+        append(ev)
+        n += 1
+        if n >= chunk:
+            yield batch
+            batch = EventBatch()
+            append = batch.append_event
+            n = 0
+    if n:
+        yield batch
+
+
+def events_from_batches(batches: BatchStream) -> EventStream:
+    """Flatten a batch stream back into per-object events."""
+    for batch in batches:
+        yield from batch.events()
 
 
 def validate_stream(events: EventStream) -> Iterator[Event]:

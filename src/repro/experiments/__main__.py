@@ -5,6 +5,11 @@ Examples::
     python -m repro.experiments table3
     python -m repro.experiments figure5 --scale 0.3
     python -m repro.experiments all --write EXPERIMENTS.md
+    python -m repro.experiments all --jobs 4        # parallel sweep
+
+``--jobs N`` pre-computes the artifact's run grid on N worker processes
+(results are bit-identical to the sequential sweep); ``--cache-dir``
+persists completed runs as JSON so repeat invocations skip simulation.
 """
 
 from __future__ import annotations
@@ -37,6 +42,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument("--seed", type=int, default=0, help="base RNG seed")
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the run grid (default 1 = in-process)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="persist run results as JSON under DIR (e.g. .cache)",
+    )
+    parser.add_argument(
         "--write",
         nargs="?",
         const="EXPERIMENTS.md",
@@ -52,8 +70,23 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    harness = Harness(HarnessConfig(scale=args.scale, seed=args.seed))
+    harness = Harness(
+        HarnessConfig(scale=args.scale, seed=args.seed),
+        cache_dir=args.cache_dir,
+    )
     start = time.time()
+    if args.jobs > 1:
+        from repro.experiments.parallel import grid_for
+
+        cells = grid_for(harness, args.artifact)
+        if cells:
+            grid_start = time.time()
+            harness.run_grid(cells, jobs=args.jobs)
+            print(
+                f"[grid: {len(cells)} cells on {args.jobs} workers in "
+                f"{time.time() - grid_start:.1f}s]",
+                file=sys.stderr,
+            )
     if args.artifact == "all":
         body = generate(harness, write_path=args.write, svg_dir=args.svg)
         print(body)

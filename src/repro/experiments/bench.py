@@ -1,0 +1,278 @@
+"""The benchmark trajectory runner: a pinned perf suite over time.
+
+Performance work needs a stable yardstick.  This module times a *pinned*
+suite — fixed workloads, scales, seeds and techniques — and writes the
+measurements to ``BENCH_<date>.json`` in the repo root, so the sequence
+of committed files is a perf trajectory across PRs.  Three benches:
+
+``simulator``
+    Core-loop throughput: the same (workload, technique) run executed on
+    the per-event path (``use_batches=False``) and on the batched fast
+    path (prebuilt :class:`EventBatch` columns, the steady state the
+    harness sees once ``BatchCachingWorkload`` has materialized a
+    stream).  Reported as events/second, best of N repetitions.
+
+``reuse_counts``
+    Analysis-side throughput of the linear-time reuse accumulator
+    (§III-B's all-window counting) on a synthetic interval set, in
+    intervals/second.
+
+``harness``
+    End-to-end wall clock of a Figure-4 subset grid three ways: a fresh
+    sequential sweep, ``run_grid(..., jobs=N)`` on fresh harnesses, and
+    a warm-disk-cache replay.  The ``jobs`` axis only helps with real
+    cores — the document records ``cpus`` so a trajectory point from a
+    single-CPU container (where 4 workers serialize and the measured
+    "speedup" is pure overhead, < 1x) is not misread as a regression.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.experiments.bench            # full
+    PYTHONPATH=src python -m repro.experiments.bench --quick    # CI smoke
+    python tools/bench.py --out BENCH.json
+
+Timing protocol: the single-process benches (``simulator``,
+``reuse_counts``) are measured in *process CPU time*, best of ``--reps``
+repetitions — on a shared single-CPU container, wall clock mostly
+measures the neighbours, while CPU time is what the code costs; the
+harness sweeps span multiple processes, so they are wall clock (once
+each) and must be read against the recorded ``cpus``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.cache.policies import make_factory
+from repro.experiments.harness import Harness, HarnessConfig
+from repro.locality.reuse import reuse_counts
+from repro.nvram.machine import Machine
+from repro.workloads.base import BatchCachingWorkload
+from repro.workloads.registry import get_workload
+
+#: Everything below is pinned: changing any value breaks comparability
+#: across committed BENCH files, so bump ``SUITE_VERSION`` if you must.
+SUITE_VERSION = 1
+BENCH_SEED = 7
+
+#: Simulator bench: (workload, technique, factory kwargs).  BEST is the
+#: bare core loop; SC-offline adds the software cache at a pinned size.
+SIM_SCALE = 0.5
+SIM_CASES = (
+    # SC-offline sizes are the paper's §IV-G selections per program.
+    ("barnes", "BEST", {}),
+    ("barnes", "SC-offline", {"sc_fixed_size": 15}),
+    ("water-spatial", "BEST", {}),
+    ("water-spatial", "SC-offline", {"sc_fixed_size": 23}),
+)
+
+#: reuse_counts bench: synthetic reuse intervals over a pinned trace.
+REUSE_N = 500_000
+REUSE_INTERVALS = 250_000
+
+#: Harness bench: a Figure-4 subset (single-thread speedups over ER).
+HARNESS_SCALE = 0.5
+HARNESS_WORKLOADS = ("barnes", "volrend", "water-nsquared", "water-spatial")
+HARNESS_TECHNIQUES = ("ER", "AT", "SC", "SC-offline", "BEST")
+
+
+def _best_of(reps: int, fn: Callable[[], None]) -> float:
+    """Minimum process-CPU-time over ``reps`` runs of ``fn``."""
+    best = float("inf")
+    for _ in range(reps):
+        start = time.process_time()
+        fn()
+        best = min(best, time.process_time() - start)
+    return best
+
+
+# ---------------------------------------------------------------------------
+
+
+def bench_simulator(scale: float, reps: int) -> List[Dict]:
+    """Per-event vs batched events/second on the pinned cases."""
+    rows = []
+    for name, technique, kwargs in SIM_CASES:
+        workload = BatchCachingWorkload(get_workload(name, scale=scale))
+        config = HarnessConfig(scale=scale, seed=BENCH_SEED).machine_config()
+        # Materialize the batch columns up front: the steady state under
+        # BatchCachingWorkload, and what makes this a core-loop bench
+        # rather than a generator bench.
+        batches = workload.batch_streams(1, BENCH_SEED)
+        events = sum(len(b) for b in list(batches[0]))
+
+        def run(use_batches: bool) -> None:
+            Machine(config).run(
+                workload,
+                make_factory(technique, **kwargs),
+                num_threads=1,
+                seed=BENCH_SEED,
+                use_batches=use_batches,
+            )
+
+        per_event_s = _best_of(reps, lambda: run(False))
+        batched_s = _best_of(reps, lambda: run(True))
+        rows.append(
+            {
+                "workload": name,
+                "technique": technique,
+                "events": events,
+                "per_event_s": round(per_event_s, 4),
+                "batched_s": round(batched_s, 4),
+                "per_event_eps": round(events / per_event_s),
+                "batched_eps": round(events / batched_s),
+                "speedup": round(per_event_s / batched_s, 2),
+            }
+        )
+    return rows
+
+
+def bench_reuse_counts(n: int, intervals: int, reps: int) -> Dict:
+    """Throughput of the linear-time all-window reuse accumulator."""
+    rng = np.random.default_rng(BENCH_SEED)
+    starts = rng.integers(1, n, size=intervals, dtype=np.int64)
+    ends = starts + rng.integers(1, 1000, size=intervals, dtype=np.int64)
+    np.minimum(ends, n, out=ends)
+    keep = ends > starts
+    starts, ends = starts[keep], ends[keep]
+    best = _best_of(reps, lambda: reuse_counts(starts, ends, n))
+    return {
+        "n": n,
+        "intervals": int(len(starts)),
+        "best_s": round(best, 4),
+        "intervals_per_sec": round(len(starts) / best),
+    }
+
+
+def bench_harness(scale: float, jobs: int) -> Dict:
+    """Figure-4-subset wall clock: sequential, ``jobs=N``, warm cache.
+
+    The sequential and parallel sweeps use fresh harnesses with no disk
+    cache, so they measure simulation fan-out (which needs real cores to
+    win); the cached replay measures what a repeat invocation pays once
+    the on-disk result cache is warm.
+    """
+    import shutil
+    import tempfile
+
+    cells = [
+        (name, technique, 1)
+        for name in HARNESS_WORKLOADS
+        for technique in HARNESS_TECHNIQUES
+    ]
+    config = HarnessConfig(scale=scale, seed=BENCH_SEED)
+
+    start = time.perf_counter()
+    sequential = Harness(config).run_grid(cells, jobs=1)
+    sequential_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = Harness(config).run_grid(cells, jobs=jobs)
+    parallel_s = time.perf_counter() - start
+
+    cache_dir = tempfile.mkdtemp(prefix="bench-cache-")
+    try:
+        Harness(config, cache_dir=cache_dir).run_grid(cells, jobs=1)
+        start = time.perf_counter()
+        cached = Harness(config, cache_dir=cache_dir).run_grid(cells, jobs=1)
+        cached_s = time.perf_counter() - start
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+    mismatched = [
+        cell for cell in cells
+        if not (
+            sequential[cell].to_dict()
+            == parallel[cell].to_dict()
+            == cached[cell].to_dict()
+        )
+    ]
+    return {
+        "cells": len(cells),
+        "jobs": jobs,
+        "cpus": os.cpu_count(),
+        "sequential_s": round(sequential_s, 2),
+        "parallel_s": round(parallel_s, 2),
+        "parallel_speedup": round(sequential_s / parallel_s, 2),
+        "cached_s": round(cached_s, 4),
+        "cached_speedup": round(sequential_s / cached_s, 1),
+        "results_identical": not mismatched,
+    }
+
+
+# ---------------------------------------------------------------------------
+
+
+def run_suite(
+    quick: bool = False, reps: Optional[int] = None, jobs: int = 4
+) -> Dict:
+    """Run every bench; return the BENCH document."""
+    reps = reps or (2 if quick else 5)
+    sim_scale = 0.08 if quick else SIM_SCALE
+    harness_scale = 0.05 if quick else HARNESS_SCALE
+    reuse_n = 100_000 if quick else REUSE_N
+    reuse_intervals = 50_000 if quick else REUSE_INTERVALS
+    return {
+        "suite_version": SUITE_VERSION,
+        "date": time.strftime("%Y-%m-%d"),
+        "quick": quick,
+        "reps": reps,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpus": os.cpu_count(),
+        "simulator": (sim := bench_simulator(sim_scale, reps)),
+        "simulator_speedup_geomean": round(
+            float(np.exp(np.mean([np.log(r["speedup"]) for r in sim]))), 2
+        ),
+        "reuse_counts": bench_reuse_counts(reuse_n, reuse_intervals, reps),
+        "harness": bench_harness(harness_scale, jobs),
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Time the pinned perf suite and write BENCH_<date>.json.",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small scales, 2 reps: a CI smoke run, not a trajectory point",
+    )
+    parser.add_argument(
+        "--reps", type=int, default=None, help="repetitions per measurement"
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=4, help="workers for the harness bench"
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="output path (default BENCH_<date>.json; '-' for stdout only)",
+    )
+    args = parser.parse_args(argv)
+
+    doc = run_suite(quick=args.quick, reps=args.reps, jobs=args.jobs)
+    body = json.dumps(doc, indent=2, sort_keys=True)
+    print(body)
+    out = args.out
+    if out != "-":
+        if out is None:
+            out = f"BENCH_{doc['date']}.json"
+        with open(out, "w", encoding="utf-8") as fh:
+            fh.write(body + "\n")
+        print(f"wrote {out}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,22 +13,32 @@ Technique plumbing the paper's §IV-A implies:
 - ``SC-offline`` needs the profiling pass: a BEST run with trace
   recording, whole-trace MRC, knee selection — "the offline choice is
   the best single cache size for the whole execution".
+
+Execution is factored so one grid cell is a *pure function* of
+``(HarnessConfig, name, technique, threads, ProfileSummary)`` —
+:func:`execute_cell` — which is what lets ``run_grid`` fan cells out to
+worker processes (``repro.experiments.parallel``) and lets results be
+memoized on disk (``repro.experiments.cache``) without any behavioural
+difference from the sequential in-process path.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.cache.adaptive import AdaptiveConfig
 from repro.cache.policies import TECHNIQUES, make_factory
 from repro.common.errors import ConfigurationError
+from repro.experiments.cache import ResultCache
 from repro.locality.knee import SelectionPolicy, select_cache_size
 from repro.locality.mrc import MissRatioCurve, mrc_from_trace
 from repro.locality.trace import WriteTrace
 from repro.nvram.machine import Machine, MachineConfig
 from repro.nvram.stats import RunResult
 from repro.nvram.timing import DEFAULT_TIMING, TimingModel
+from repro.workloads.base import BatchCachingWorkload, Workload
 from repro.workloads.registry import WORKLOAD_NAMES, get_workload
 
 #: Fraction of a run's stores one online sampling burst covers (the
@@ -38,6 +48,9 @@ from repro.workloads.registry import WORKLOAD_NAMES, get_workload
 BURST_FRACTION = 0.06
 MIN_BURST = 768
 MAX_BURST = 16_384
+
+#: One grid coordinate: (workload name, technique, thread count).
+Cell = Tuple[str, str, int]
 
 
 @dataclass(frozen=True)
@@ -60,27 +73,133 @@ class HarnessConfig:
         )
 
 
-class Harness:
-    """Cached experiment runner (see module docstring)."""
+@dataclass(frozen=True)
+class ProfileSummary:
+    """What SC/SC-offline need from the profiling pass, and nothing more.
 
-    def __init__(self, config: Optional[HarnessConfig] = None) -> None:
+    The full profile run carries recorded traces (numpy arrays, large,
+    not worth shipping between processes or to disk); these two integers
+    are the only facts technique configuration actually consumes, so
+    they are what crosses process and cache boundaries.
+    """
+
+    persistent_stores: int    # single-thread BEST run, total stores
+    offline_size: int         # knee of the whole-trace MRC
+
+
+def make_workload(config: HarnessConfig, name: str) -> Workload:
+    """Build the (batch-caching) workload object for one Table III name."""
+    return BatchCachingWorkload(get_workload(name, scale=config.scale))
+
+
+def sc_factory_kwargs(
+    config: HarnessConfig,
+    workload: Workload,
+    technique: str,
+    threads: int,
+    summary: Optional[ProfileSummary],
+) -> Dict[str, object]:
+    """Technique-factory keyword arguments for one grid cell.
+
+    ``SC`` and ``SC-offline`` are the only techniques that need profile
+    facts; for them ``summary`` is required.
+    """
+    if technique not in ("SC", "SC-offline"):
+        return {}
+    if summary is None:
+        raise ConfigurationError(
+            f"{technique} needs a ProfileSummary (burst/offline sizing)"
+        )
+    if technique == "SC-offline":
+        return {"sc_fixed_size": summary.offline_size}
+    # SC: online sampling burst, proportional to each thread's stores.
+    # Sampling is per thread (each software cache adapts on its own MRC,
+    # §III-C), so the burst shrinks with the thread count to stay a
+    # fixed fraction of what one thread actually writes.
+    writers = workload.store_threads(threads)
+    per_thread = summary.persistent_stores / max(1, writers)
+    burst = max(MIN_BURST, min(MAX_BURST, int(per_thread * BURST_FRACTION)))
+    # Warm-up skip: sample past the start-up transient, but only when
+    # the thread's stream is long enough to afford it.
+    skip = burst if per_thread >= 8 * burst else 0
+    return {
+        "adaptive_config": AdaptiveConfig(
+            burst_length=burst,
+            initial_skip=skip,
+            selection=config.selection,
+        )
+    }
+
+
+def execute_cell(
+    config: HarnessConfig,
+    name: str,
+    technique: str,
+    threads: int,
+    summary: Optional[ProfileSummary] = None,
+    workload: Optional[Workload] = None,
+) -> RunResult:
+    """Execute one grid cell from scratch — no caches involved.
+
+    A pure function of its arguments (every run seeds from
+    ``config.seed``), so a worker process computing a cell produces the
+    bit-identical result the sequential harness would.  ``workload`` may
+    be passed to reuse an already-built (batch-caching) instance.
+    """
+    if technique not in TECHNIQUES:
+        raise ConfigurationError(
+            f"unknown technique {technique!r}; expected one of {TECHNIQUES}"
+        )
+    if workload is None:
+        workload = make_workload(config, name)
+    factory_kwargs = sc_factory_kwargs(config, workload, technique, threads, summary)
+    machine = Machine(config.machine_config())
+    return machine.run(
+        workload,
+        make_factory(technique, **factory_kwargs),
+        num_threads=threads,
+        seed=config.seed,
+    )
+
+
+class Harness:
+    """Cached experiment runner (see module docstring).
+
+    ``cache_dir`` enables the on-disk result cache: completed cells and
+    profile summaries are persisted as JSON keyed by the full
+    configuration, so repeat invocations (and parallel workers) skip
+    simulation entirely.
+    """
+
+    def __init__(
+        self,
+        config: Optional[HarnessConfig] = None,
+        cache_dir: Optional[str] = None,
+    ) -> None:
         self.config = config or HarnessConfig()
-        self._runs: Dict[Tuple[str, str, int], RunResult] = {}
+        self.cache_dir = cache_dir
+        self._disk = ResultCache(cache_dir) if cache_dir else None
+        self._runs: Dict[Cell, RunResult] = {}
         self._profiles: Dict[Tuple[str, int], RunResult] = {}
-        self._workloads: Dict[str, object] = {}
+        self._summaries: Dict[str, ProfileSummary] = {}
+        self._workloads: Dict[str, Workload] = {}
 
     # ------------------------------------------------------------------
 
-    def workload(self, name: str):
-        """The (cached) workload object for a Table III name."""
+    def workload(self, name: str) -> Workload:
+        """The (cached, batch-caching) workload object for a name."""
         wl = self._workloads.get(name)
         if wl is None:
-            wl = get_workload(name, scale=self.config.scale)
+            wl = make_workload(self.config, name)
             self._workloads[name] = wl
         return wl
 
     def profile(self, name: str, threads: int = 1) -> RunResult:
-        """The trace-recording BEST run used for offline analysis."""
+        """The trace-recording BEST run used for offline analysis.
+
+        Kept in memory only: recorded traces are large and the disk
+        cache stores the distilled :class:`ProfileSummary` instead.
+        """
         key = (name, threads)
         result = self._profiles.get(key)
         if result is None:
@@ -95,6 +214,35 @@ class Harness:
             self._profiles[key] = result
         return result
 
+    def profile_summary(self, name: str) -> ProfileSummary:
+        """The distilled profile facts driving SC/SC-offline sizing."""
+        summary = self._summaries.get(name)
+        if summary is not None:
+            return summary
+        disk_key = None
+        if self._disk is not None:
+            disk_key = ResultCache.key(self.config, "profile_summary", name=name)
+            data = self._disk.get(disk_key)
+            if data is not None:
+                summary = ProfileSummary(**data)
+                self._summaries[name] = summary
+                return summary
+        result = self.profile(name)
+        summary = ProfileSummary(
+            persistent_stores=result.persistent_stores,
+            offline_size=select_cache_size(
+                mrc_from_trace(result.traces[0]), self.config.selection
+            ),
+        )
+        self._summaries[name] = summary
+        if self._disk is not None:
+            self._disk.put(disk_key, dataclasses.asdict(summary))
+        return summary
+
+    def preload_summaries(self, summaries: Dict[str, ProfileSummary]) -> None:
+        """Adopt summaries computed elsewhere (parallel phase 1)."""
+        self._summaries.update(summaries)
+
     def trace(self, name: str, thread: int = 0, threads: int = 1) -> WriteTrace:
         """A recorded per-thread persistent-write trace."""
         return self.profile(name, threads).traces[thread]
@@ -105,16 +253,12 @@ class Harness:
 
     def offline_size(self, name: str) -> int:
         """The profiled best cache size (drives SC-offline)."""
-        return select_cache_size(self.offline_mrc(name), self.config.selection)
+        return self.profile_summary(name).offline_size
 
     def burst_length(self, name: str, threads: int = 1) -> int:
-        """Online sampling burst, proportional to each thread's stores.
-
-        Sampling is per thread (each software cache adapts on its own
-        MRC, §III-C), so the burst shrinks with the thread count to stay
-        a fixed fraction of what one thread actually writes.
-        """
-        n = self.profile(name).persistent_stores
+        """Online sampling burst for one thread of ``name`` (see
+        :func:`sc_factory_kwargs` for the sizing rule)."""
+        n = self.profile_summary(name).persistent_stores
         writers = self.workload(name).store_threads(threads)
         per_thread = n / max(1, writers)
         return max(MIN_BURST, min(MAX_BURST, int(per_thread * BURST_FRACTION)))
@@ -131,29 +275,28 @@ class Harness:
         result = self._runs.get(key)
         if result is not None:
             return result
-        factory_kwargs = {}
-        if technique == "SC-offline":
-            factory_kwargs["sc_fixed_size"] = self.offline_size(name)
-        elif technique == "SC":
-            burst = self.burst_length(name, threads)
-            writers = self.workload(name).store_threads(threads)
-            per_thread = self.profile(name).persistent_stores / max(1, writers)
-            # Warm-up skip: sample past the start-up transient, but only
-            # when the thread's stream is long enough to afford it.
-            skip = burst if per_thread >= 8 * burst else 0
-            factory_kwargs["adaptive_config"] = AdaptiveConfig(
-                burst_length=burst,
-                initial_skip=skip,
-                selection=self.config.selection,
+        disk_key = None
+        if self._disk is not None:
+            disk_key = ResultCache.key(
+                self.config, "run", name=name, technique=technique, threads=threads
             )
-        machine = Machine(self.config.machine_config())
-        result = machine.run(
-            self.workload(name),
-            make_factory(technique, **factory_kwargs),
-            num_threads=threads,
-            seed=self.config.seed,
+            data = self._disk.get(disk_key)
+            if data is not None:
+                result = RunResult.from_dict(data)
+                self._runs[key] = result
+                return result
+        summary = (
+            self.profile_summary(name)
+            if technique in ("SC", "SC-offline")
+            else None
+        )
+        result = execute_cell(
+            self.config, name, technique, threads,
+            summary=summary, workload=self.workload(name),
         )
         self._runs[key] = result
+        if self._disk is not None:
+            self._disk.put(disk_key, result.to_dict())
         return result
 
     def run_techniques(
@@ -161,6 +304,25 @@ class Harness:
     ) -> Dict[str, RunResult]:
         """Run several techniques on one workload."""
         return {t: self.run(name, t, threads) for t in techniques}
+
+    def run_grid(
+        self, cells: Iterable[Cell], jobs: int = 1
+    ) -> Dict[Cell, RunResult]:
+        """Execute a batch of cells, optionally across worker processes.
+
+        With ``jobs > 1`` the cells fan out over a process pool (see
+        ``repro.experiments.parallel``); results are identical to the
+        sequential path because every cell is a pure function of the
+        configuration.  Either way, completed cells land in this
+        harness's in-memory cache, so artifact generators that re-request
+        them afterwards get hits.
+        """
+        cells = list(dict.fromkeys(cells))
+        if jobs > 1 and len(cells) > 1:
+            from repro.experiments.parallel import run_grid_parallel
+
+            return run_grid_parallel(self, cells, jobs)
+        return {cell: self.run(*cell) for cell in cells}
 
     # ------------------------------------------------------------------
 

@@ -1,0 +1,189 @@
+"""Process-parallel execution of experiment grids.
+
+The harness's unit of work — one ``(workload, technique, threads)`` cell
+under a frozen :class:`HarnessConfig` — is a pure, deterministic
+function (``execute_cell``), so cells can run in any order in any
+process and produce bit-identical results.  This module fans a grid over
+``concurrent.futures.ProcessPoolExecutor`` in two phases:
+
+1. **Summaries** — the distinct workloads with SC/SC-offline cells each
+   need one profiling pass (single-thread BEST run + MRC knee).  Those
+   are mapped over the pool first, because every SC cell of a workload
+   depends on its summary and nothing else does.
+2. **Cells** — every remaining cell is submitted with the summaries in
+   hand; workers check the shared on-disk cache before simulating and
+   publish what they compute, so concurrent invocations cooperate.
+
+Everything shipped to workers is picklable by construction: frozen
+config dataclasses, plain tuples, :class:`ProfileSummary`; results come
+back as trace-free :class:`RunResult` dataclasses.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.harness import (
+    Cell,
+    Harness,
+    HarnessConfig,
+    ProfileSummary,
+)
+
+#: Techniques whose cells require a profiling pass first.
+_NEEDS_SUMMARY = ("SC", "SC-offline")
+
+
+# ---------------------------------------------------------------------------
+# Worker entry points (module-level: they must pickle by reference).
+# ---------------------------------------------------------------------------
+
+
+def _summary_worker(
+    config: HarnessConfig, cache_dir: Optional[str], name: str
+) -> Tuple[str, ProfileSummary]:
+    """Phase 1: compute (or load from disk) one workload's summary."""
+    harness = Harness(config, cache_dir=cache_dir)
+    return name, harness.profile_summary(name)
+
+
+def _cells_worker(
+    config: HarnessConfig,
+    cache_dir: Optional[str],
+    summaries: Dict[str, ProfileSummary],
+    cells: List[Cell],
+):
+    """Phase 2: compute (or load from disk) one group of grid cells.
+
+    A group shares one ``(workload, threads)`` pair, so the worker's
+    harness materializes the batch columns once and replays them for
+    every technique — the same amortization the sequential sweep gets.
+    """
+    harness = Harness(config, cache_dir=cache_dir)
+    harness.preload_summaries(summaries)
+    return [
+        (cell, harness.run(*cell))
+        for cell in cells
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Grid execution
+# ---------------------------------------------------------------------------
+
+
+def run_grid_parallel(harness: Harness, cells: Sequence[Cell], jobs: int):
+    """Fan ``cells`` over ``jobs`` worker processes.
+
+    Cells already in the harness's memory cache are served from it;
+    everything computed by workers is folded back in, so the calling
+    harness ends up in the same state as after a sequential sweep.
+    """
+    cells = list(dict.fromkeys(cells))
+    results: Dict[Cell, object] = {}
+    pending: List[Cell] = []
+    for cell in cells:
+        cached = harness._runs.get(cell)
+        if cached is not None:
+            results[cell] = cached
+        else:
+            pending.append(cell)
+    if not pending:
+        return results
+
+    config = harness.config
+    cache_dir = harness.cache_dir
+    need_summary = sorted(
+        {
+            name
+            for (name, technique, _threads) in pending
+            if technique in _NEEDS_SUMMARY and name not in harness._summaries
+        }
+    )
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        if need_summary:
+            futures = [
+                pool.submit(_summary_worker, config, cache_dir, name)
+                for name in need_summary
+            ]
+            for future in as_completed(futures):
+                name, summary = future.result()
+                harness._summaries[name] = summary
+        summaries = dict(harness._summaries)
+        # Group cells sharing a (workload, threads) pair: one worker
+        # materializes that stream's batch columns once for all of the
+        # group's techniques, instead of once per cell.
+        groups: Dict[Tuple[str, int], List[Cell]] = {}
+        for cell in pending:
+            name, _technique, threads = cell
+            groups.setdefault((name, threads), []).append(cell)
+        futures = [
+            pool.submit(_cells_worker, config, cache_dir, summaries, group)
+            for group in groups.values()
+        ]
+        for future in as_completed(futures):
+            for cell, result in future.result():
+                harness._runs[cell] = result
+                results[cell] = result
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Artifact grids
+# ---------------------------------------------------------------------------
+
+
+def grid_for(harness: Harness, artifact: str) -> List[Cell]:
+    """The cells one artifact generator will request, in request order.
+
+    Mirrors the loops in ``tables.py`` / ``figures.py`` so a parallel
+    sweep can pre-warm the harness before the (sequential) generator
+    renders.  Artifacts that only do MRC analysis (figure2, figure7)
+    need profile traces, not runs, and contribute no cells.
+    """
+    splash2 = list(harness.splash2_workloads())
+    everything = list(harness.all_workloads())
+    cells: List[Cell] = []
+    if artifact == "table1":
+        for name in splash2:
+            cells += [(name, "ER", 1), (name, "BEST", 1)]
+    elif artifact == "table2":
+        cells += [("mdb", t, 8) for t in ("ER", "AT", "SC", "SC-offline", "BEST")]
+    elif artifact == "table3":
+        for name in everything:
+            cells += [(name, t, 1) for t in ("ER", "LA", "AT", "SC-offline", "SC")]
+    elif artifact == "table4":
+        for n in (1, 2, 4, 8, 16, 32):
+            cells += [("water-spatial", t, n) for t in ("AT", "SC", "BEST")]
+    elif artifact == "figure4":
+        for name in everything:
+            n = 8 if name == "mdb" else 1
+            cells += [(name, t, n) for t in ("ER", "AT", "SC", "SC-offline", "BEST")]
+    elif artifact == "figure5":
+        for name in splash2:
+            for n in (1, 2, 4, 8, 16, 32):
+                cells += [(name, "AT", n), (name, "SC", n), (name, "SC-offline", n)]
+    elif artifact == "figure6":
+        for name in splash2:
+            for n in (1, 2, 4, 8, 16, 32):
+                cells += [(name, "SC", n), (name, "BEST", n)]
+    elif artifact == "figure8":
+        for name in splash2 + ["mdb"]:
+            for n in (1, 8):
+                cells += [(name, "SC", n), (name, "SC-offline", n)]
+    elif artifact in ("figure2", "figure7"):
+        pass
+    elif artifact == "all":
+        seen = dict.fromkeys(
+            cell
+            for art in (
+                "table1", "table2", "table3", "table4",
+                "figure4", "figure5", "figure6", "figure8",
+            )
+            for cell in grid_for(harness, art)
+        )
+        cells = list(seen)
+    else:
+        raise KeyError(f"no grid known for artifact {artifact!r}")
+    return list(dict.fromkeys(cells))

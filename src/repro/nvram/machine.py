@@ -28,7 +28,7 @@ from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator, List, Optional, Tuple
 
 from repro.common.errors import ConfigurationError, SimulationError
-from repro.common.events import Event, EventKind
+from repro.common.events import Event, EventBatch, EventKind
 from repro.common.geometry import lines_spanned
 from repro.locality.trace import WriteTrace
 from repro.nvram.failure import CrashedState, CrashPlan
@@ -144,6 +144,10 @@ class _ThreadContext:
         "trace_lines",
         "trace_fids",
         "alive",
+        "batch_iter",
+        "batch",
+        "batch_pos",
+        "batch_cols",
     )
 
     def __init__(
@@ -156,6 +160,11 @@ class _ThreadContext:
         self.thread_id = thread_id
         self.stream = stream
         self.technique = technique
+        # Batched execution state (None when driven by a per-object stream).
+        self.batch_iter: Optional[Iterator[EventBatch]] = None
+        self.batch: Optional[EventBatch] = None
+        self.batch_pos = 0
+        self.batch_cols: Optional[Tuple[list, list, list]] = None
         self.flushq: Optional[FlushQueue] = None
         self.stats = ThreadStats(thread_id=thread_id)
         self.port: Optional[FlushPort] = None
@@ -179,7 +188,6 @@ class Machine:
 
     def __init__(self, config: Optional[MachineConfig] = None) -> None:
         self.config = config or MachineConfig()
-        t = self.config.timing
         self.memory = MainMemory()
         self.hwcache = HardwareCache(
             self.config.l1_capacity_lines,
@@ -267,6 +275,216 @@ class Machine:
             if self.crashed_state is not None:
                 return False
         return True
+
+    def _run_batches(self, ctx: _ThreadContext, budget: int) -> bool:
+        """Batched twin of :meth:`_run_batch`; returns False at stream end.
+
+        Consumes up to ``budget`` events from ``ctx``'s batch stream with
+        the event semantics of :meth:`_process_event` inlined, but with
+        no per-event object allocation, no generator resumption, the
+        per-quantum invariants (timing constants, cache, technique
+        callbacks, crash plan) hoisted into locals, the batch columns
+        decoded to plain lists once per batch, and the single-line store
+        — the overwhelmingly common case — fully short-circuited.
+
+        The hot ``ThreadStats`` counters are accumulated in locals.
+        ``stats.cycles`` is written back before every point that can
+        observe it (technique callbacks and dirty-eviction write-backs,
+        which funnel into the flush queue via ``stats.cycles``; quantum
+        exit, which the scheduler reads) and re-read after.
+        ``instructions`` is kept as a local delta merged in at quantum
+        exit: callbacks only ever increment ``stats.instructions``,
+        never read it, so no per-call hand-off is needed.
+        ``technique.cost_per_store`` is read once per quantum —
+        techniques must keep it constant during a run, which every
+        built-in technique does.
+
+        Quantum boundaries fall on the same event counts as the
+        per-event path, so the smallest-clock thread interleaving — and
+        with it every statistic, including the shared hardware cache's —
+        is bit-identical.  Enforced by tests/test_batch_equivalence.py.
+        """
+        config = self.config
+        t = config.timing
+        stats = ctx.stats
+        hw = self.hwcache
+        access = hw.access
+        technique = ctx.technique
+        on_store = technique.on_store
+        # A technique that declares its on_store a no-op (BEST) saves
+        # the call and the stats hand-off around it on every store.
+        skip_on_store = getattr(technique, "on_store_noop", False)
+        cost_per_store = technique.cost_per_store
+        track_values = config.track_values
+        trace_lines = ctx.trace_lines
+        trace_fids = ctx.trace_fids
+        evict_writeback = self._evict_writeback
+        plan = self._crash_plan
+        hit_cost = t.l1_hit
+        miss_cost = t.l1_hit + t.l1_miss
+        cpi = t.cpi
+        nvram_base = NVRAM_BASE
+        kind_store = EventKind.STORE
+        kind_load = EventKind.LOAD
+        kind_work = EventKind.WORK
+        kind_fase_begin = EventKind.FASE_BEGIN
+        # Hoisted counters; flushed back to stats in the finally block,
+        # with cycles re-synced around every technique/flush-engine call
+        # (the flush queue timestamps from stats.cycles).  instructions
+        # is a local *delta* added back at the end: every callback only
+        # ever increments stats.instructions, none reads it, so the two
+        # accumulators merge exactly and no per-call sync is needed.
+        cycles = stats.cycles
+        instructions = 0
+        persistent_stores = stats.persistent_stores
+        persistent_loads = stats.persistent_loads
+        fase_count = stats.fase_count
+        stores_seen = self._stores_seen
+        crashed = False
+        try:
+            while budget > 0:
+                batch = ctx.batch
+                pos = ctx.batch_pos
+                if batch is None or pos >= len(batch.kinds):
+                    batch = next(ctx.batch_iter, None)
+                    if batch is None:
+                        ctx.batch = None
+                        return False
+                    ctx.batch = batch
+                    # Decode the compact columns to lists once per batch:
+                    # list indexing beats array indexing in the hot loop,
+                    # and the cost amortises over many scheduler quanta.
+                    ctx.batch_cols = (
+                        batch.kinds.tolist(),
+                        batch.args.tolist(),
+                        batch.sizes.tolist(),
+                    )
+                    pos = 0
+                kinds, args, sizes = ctx.batch_cols
+                end = len(kinds)
+                if end - pos > budget:
+                    end = pos + budget
+                budget -= end - pos
+                i = pos
+                while i < end:
+                    kind = kinds[i]
+                    if kind == kind_store:
+                        addr = args[i]
+                        persistent = addr >= nvram_base
+                        size = sizes[i]
+                        first = addr >> 6
+                        if first == (addr + size - 1) >> 6:
+                            # Single-line store: no span tuple, no loop.
+                            hit, evicted = access(first, True)
+                            cycles += hit_cost if hit else miss_cost
+                            if evicted is not None and evicted[1]:
+                                stats.cycles = cycles
+                                evict_writeback(ctx, evicted[0])
+                                cycles = stats.cycles
+                            if persistent:
+                                if track_values:
+                                    hw.store_value(first, addr, None)
+                                if not skip_on_store:
+                                    stats.cycles = cycles
+                                    on_store(first)
+                                    cycles = stats.cycles
+                                if trace_lines is not None:
+                                    trace_lines.append(first)
+                                    trace_fids.append(
+                                        ctx.fase_uid
+                                        if ctx.fase_depth > 0
+                                        else -1
+                                    )
+                        else:
+                            for line in lines_spanned(addr, size):
+                                hit, evicted = access(line, True)
+                                cycles += hit_cost if hit else miss_cost
+                                if evicted is not None and evicted[1]:
+                                    stats.cycles = cycles
+                                    evict_writeback(ctx, evicted[0])
+                                    cycles = stats.cycles
+                                if persistent:
+                                    if track_values:
+                                        hw.store_value(line, addr, None)
+                                    if not skip_on_store:
+                                        stats.cycles = cycles
+                                        on_store(line)
+                                        cycles = stats.cycles
+                                    if trace_lines is not None:
+                                        trace_lines.append(line)
+                                        trace_fids.append(
+                                            ctx.fase_uid
+                                            if ctx.fase_depth > 0
+                                            else -1
+                                        )
+                        instructions += 1
+                        if persistent:
+                            persistent_stores += 1
+                            cycles += cost_per_store
+                            instructions += cost_per_store
+                            stores_seen += 1
+                            if (
+                                plan is not None
+                                and stores_seen >= plan.after_stores
+                            ):
+                                ctx.batch_pos = i + 1
+                                self._stores_seen = stores_seen
+                                crashed = True
+                                self._crash()
+                                return False
+                    elif kind == kind_work:
+                        amount = args[i]
+                        cycles += int(amount * cpi)
+                        instructions += amount
+                    elif kind == kind_load:
+                        addr = args[i]
+                        size = sizes[i]
+                        first = addr >> 6
+                        if first == (addr + size - 1) >> 6:
+                            lines = (first,)
+                        else:
+                            lines = lines_spanned(addr, size)
+                        for line in lines:
+                            hit, evicted = access(line, False)
+                            cycles += hit_cost if hit else miss_cost
+                            if evicted is not None and evicted[1]:
+                                stats.cycles = cycles
+                                evict_writeback(ctx, evicted[0])
+                                cycles = stats.cycles
+                        instructions += 1
+                        if addr >= nvram_base:
+                            persistent_loads += 1
+                    elif kind == kind_fase_begin:
+                        ctx.fase_depth += 1
+                        if ctx.fase_depth == 1:
+                            ctx.fase_uid = ctx.next_fase_uid
+                            ctx.next_fase_uid += 1
+                            stats.cycles = cycles
+                            technique.on_fase_begin()
+                            cycles = stats.cycles
+                    else:  # FASE_END
+                        if ctx.fase_depth == 0:
+                            raise SimulationError(
+                                f"thread {ctx.thread_id}: "
+                                "FaseEnd without FaseBegin"
+                            )
+                        ctx.fase_depth -= 1
+                        if ctx.fase_depth == 0:
+                            stats.cycles = cycles
+                            technique.on_fase_end()
+                            cycles = stats.cycles
+                            fase_count += 1
+                    i += 1
+                ctx.batch_pos = end
+            return True
+        finally:
+            stats.cycles = cycles
+            stats.instructions += instructions
+            stats.persistent_stores = persistent_stores
+            stats.persistent_loads = persistent_loads
+            stats.fase_count = fase_count
+            if not crashed:
+                self._stores_seen = stores_seen
 
     def _process_event(self, ctx: _ThreadContext, ev: Event) -> None:
         """Execute one event on behalf of ``ctx`` (the simulator core)."""
@@ -398,6 +616,7 @@ class Machine:
         seed: int = 0,
         record_traces: bool = False,
         crash_plan: Optional[CrashPlan] = None,
+        use_batches: Optional[bool] = None,
     ) -> RunResult:
         """Execute ``workload`` and return the collected statistics.
 
@@ -405,7 +624,10 @@ class Machine:
         ----------
         workload:
             Object with ``streams(num_threads, seed) -> list of event
-            iterators`` and a ``name`` attribute.
+            iterators`` and a ``name`` attribute.  Workloads may also
+            offer ``batch_streams(num_threads, seed)`` yielding
+            :class:`~repro.common.events.EventBatch` runs; the machine
+            then uses the allocation-free batch loop.
         technique_factory:
             Called once per thread id; returns a fresh technique instance
             (software caches are per-thread).
@@ -415,20 +637,48 @@ class Machine:
         crash_plan:
             Optional scheduled power failure; afterwards
             ``self.crashed_state`` holds the durable NVRAM image.
+        use_batches:
+            Force (``True``) or forbid (``False``) the batched fast
+            path.  Default ``None`` selects it automatically whenever the
+            workload provides batch streams and value tracking is off
+            (batches carry no store payloads).  Both paths produce
+            bit-identical results.
         """
         if num_threads < 1:
             raise ConfigurationError("num_threads must be >= 1")
         self._crash_plan = crash_plan
-        streams = workload.streams(num_threads, seed)
-        if len(streams) != num_threads:
-            raise SimulationError(
-                f"workload produced {len(streams)} streams for "
-                f"{num_threads} threads"
-            )
+        batch_streams = None
+        if use_batches is None:
+            use_batches = not self.config.track_values
+        if use_batches:
+            getter = getattr(workload, "batch_streams", None)
+            if getter is not None:
+                batch_streams = getter(num_threads, seed)
+        if batch_streams is not None:
+            if len(batch_streams) != num_threads:
+                raise SimulationError(
+                    f"workload produced {len(batch_streams)} batch streams "
+                    f"for {num_threads} threads"
+                )
+            runner = self._run_batches
+        else:
+            streams = workload.streams(num_threads, seed)
+            if len(streams) != num_threads:
+                raise SimulationError(
+                    f"workload produced {len(streams)} streams for "
+                    f"{num_threads} threads"
+                )
+            runner = self._run_batch
         contexts = []
-        for tid, stream in enumerate(streams):
+        for tid in range(num_threads):
             technique = technique_factory(tid)
-            ctx = _ThreadContext(tid, iter(stream), technique, record_traces)
+            if batch_streams is not None:
+                ctx = _ThreadContext(tid, iter(()), technique, record_traces)
+                ctx.batch_iter = iter(batch_streams[tid])
+            else:
+                ctx = _ThreadContext(
+                    tid, iter(streams[tid]), technique, record_traces
+                )
             ctx.flushq = self._new_flushq()
             ctx.port = FlushPort(self, ctx)
             technique.bind(ctx.port)
@@ -440,7 +690,7 @@ class Machine:
         while heap:
             _, tid = heapq.heappop(heap)
             ctx = contexts[tid]
-            alive = self._run_batch(ctx, SCHED_BATCH)
+            alive = runner(ctx, SCHED_BATCH)
             if self.crashed_state is not None:
                 break
             if alive:

@@ -8,7 +8,7 @@ cycle times with the stall breakdown.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional
 
 from repro.locality.trace import WriteTrace
@@ -107,6 +107,42 @@ class RunResult:
     def speedup_over(self, other: "RunResult") -> float:
         """``other.time / self.time`` — how much faster this run is."""
         return other.time / self.time if self.time else float("inf")
+
+    # ---- serialization ------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        """A JSON-serializable form of every counter.
+
+        Recorded traces are *not* serialized (they are large numpy
+        arrays, and the disk cache only stores plain runs); a
+        ``has_traces`` flag records whether any were dropped so loaders
+        can refuse to serve a trace-needing request from a traceless
+        cache entry.
+        """
+        return {
+            "workload": self.workload,
+            "technique": self.technique,
+            "num_threads": self.num_threads,
+            "threads": [asdict(t) for t in self.threads],
+            "l1_accesses": self.l1_accesses,
+            "l1_misses": self.l1_misses,
+            "crashed": self.crashed,
+            "has_traces": self.traces is not None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "RunResult":
+        """Rebuild a (traceless) result serialized by :meth:`to_dict`."""
+        return cls(
+            workload=data["workload"],
+            technique=data["technique"],
+            num_threads=data["num_threads"],
+            threads=[ThreadStats(**t) for t in data["threads"]],
+            l1_accesses=data["l1_accesses"],
+            l1_misses=data["l1_misses"],
+            traces=None,
+            crashed=data["crashed"],
+        )
 
     def __repr__(self) -> str:
         return (

@@ -2,10 +2,16 @@
 
 from __future__ import annotations
 
-from typing import Iterator, List, Sequence
+from typing import Iterator, List, Optional, Sequence
 
 from repro.common.errors import ConfigurationError
-from repro.common.events import Event, FaseBegin, FaseEnd, Store
+from repro.common.events import (
+    Event,
+    EventBatch,
+    FaseBegin,
+    FaseEnd,
+    Store,
+)
 from repro.common.geometry import CACHE_LINE_SIZE, align_up
 from repro.nvram.memory import NVRAM_BASE
 
@@ -17,6 +23,13 @@ class Workload:
     must be independent iterators (the machine interleaves them), and a
     workload instance must be reusable: each ``streams`` call starts a
     fresh logical execution.
+
+    Workloads on hot experiment paths should additionally implement
+    :meth:`batch_streams`, emitting the *same* event sequence as compact
+    :class:`~repro.common.events.EventBatch` columns; the machine then
+    executes them on its allocation-free batch loop.  The two encodings
+    must stay equivalent — the batch path is an optimisation, never a
+    semantic fork.
     """
 
     name = "abstract"
@@ -24,6 +37,16 @@ class Workload:
     def streams(self, num_threads: int, seed: int) -> List[Iterator[Event]]:
         """Return ``num_threads`` independent event iterators."""
         raise NotImplementedError
+
+    def batch_streams(
+        self, num_threads: int, seed: int
+    ) -> Optional[List[Iterator[EventBatch]]]:
+        """Return per-thread :class:`EventBatch` iterators, or ``None``.
+
+        ``None`` (the default) means the workload has no native batch
+        emitter and the machine falls back to :meth:`streams`.
+        """
+        return None
 
     def supports_threads(self, num_threads: int) -> bool:
         """Whether the workload can be partitioned over this many threads."""
@@ -38,6 +61,61 @@ class Workload:
         split.
         """
         return num_threads
+
+
+class BatchCachingWorkload(Workload):
+    """Memoize a workload's materialized batch streams across runs.
+
+    Experiment pipelines replay the same ``(workload, threads, seed)``
+    event sequence once per technique — five times for a Table III row.
+    Generators must re-emit the sequence every time; batches are plain
+    data, so they can be built once and re-read.  This wrapper
+    materializes the wrapped workload's ``batch_streams`` into lists and
+    serves iterators over them on repeat calls, keeping at most
+    ``max_entries`` ``(threads, seed)`` materializations (FIFO) so
+    thread-sweep grids do not accumulate unbounded batch data.
+
+    Everything else — ``streams``, ``store_threads``, workload-specific
+    attributes — delegates to the wrapped workload.
+    """
+
+    def __init__(self, inner: Workload, max_entries: int = 4) -> None:
+        if max_entries < 1:
+            raise ConfigurationError("max_entries must be >= 1")
+        self._inner = inner
+        self._max_entries = max_entries
+        self._materialized: dict = {}
+
+    @property
+    def name(self) -> str:
+        return self._inner.name
+
+    def __getattr__(self, attr: str):
+        return getattr(self._inner, attr)
+
+    def streams(self, num_threads: int, seed: int) -> List[Iterator[Event]]:
+        return self._inner.streams(num_threads, seed)
+
+    def supports_threads(self, num_threads: int) -> bool:
+        return self._inner.supports_threads(num_threads)
+
+    def store_threads(self, num_threads: int) -> int:
+        return self._inner.store_threads(num_threads)
+
+    def batch_streams(
+        self, num_threads: int, seed: int
+    ) -> Optional[List[Iterator[EventBatch]]]:
+        key = (num_threads, seed)
+        entry = self._materialized.get(key)
+        if entry is None:
+            inner_streams = self._inner.batch_streams(num_threads, seed)
+            if inner_streams is None:
+                return None
+            entry = [list(stream) for stream in inner_streams]
+            while len(self._materialized) >= self._max_entries:
+                self._materialized.pop(next(iter(self._materialized)))
+            self._materialized[key] = entry
+        return [iter(per_thread) for per_thread in entry]
 
 
 class BumpAllocator:
@@ -95,17 +173,31 @@ class TraceWorkload(Workload):
             )
         return [self._replay(trace) for trace in self._traces]
 
+    def batch_streams(
+        self, num_threads: int, seed: int
+    ) -> List[Iterator[EventBatch]]:
+        if num_threads != len(self._traces):
+            raise ConfigurationError(
+                f"trace workload has {len(self._traces)} threads, "
+                f"{num_threads} requested"
+            )
+        return [self._replay_batches(trace) for trace in self._traces]
+
     @staticmethod
-    def _replay(trace) -> Iterator[Event]:
-        lines = trace.lines
-        fids = trace.fase_ids
+    def _trace_shift(lines) -> int:
         # Traces recorded from the machine carry real NVRAM line ids;
         # synthetic traces often use small ids starting at 0.  Shift the
         # latter into the persistence domain so replayed stores are
         # persistent (a constant shift preserves the flush pattern).
-        shift = 0
         if len(lines) and int(lines.max()) * CACHE_LINE_SIZE < NVRAM_BASE:
-            shift = NVRAM_BASE // CACHE_LINE_SIZE
+            return NVRAM_BASE // CACHE_LINE_SIZE
+        return 0
+
+    @classmethod
+    def _replay(cls, trace) -> Iterator[Event]:
+        lines = trace.lines
+        fids = trace.fase_ids
+        shift = cls._trace_shift(lines)
         current = None
         for i in range(len(lines)):
             fid = int(fids[i])
@@ -118,6 +210,33 @@ class TraceWorkload(Workload):
             yield Store((int(lines[i]) + shift) * CACHE_LINE_SIZE, 8)
         if current is not None and current != -1:
             yield FaseEnd()
+
+    @classmethod
+    def _replay_batches(cls, trace, chunk: int = 4096) -> Iterator[EventBatch]:
+        """Batched mirror of :meth:`_replay` (same event sequence)."""
+        lines = trace.lines.tolist()
+        fids = trace.fase_ids.tolist()
+        shift = cls._trace_shift(trace.lines)
+        line_size = CACHE_LINE_SIZE
+        batch = EventBatch()
+        current = None
+        for i in range(len(lines)):
+            fid = fids[i]
+            if fid != current:
+                if current is not None and current != -1:
+                    batch.append_fase_end()
+                if fid != -1:
+                    batch.append_fase_begin()
+                current = fid
+            batch.append_store((lines[i] + shift) * line_size, 8)
+            # FASE state carries across batches, so splits can fall anywhere.
+            if len(batch.kinds) >= chunk:
+                yield batch
+                batch = EventBatch()
+        if current is not None and current != -1:
+            batch.append_fase_end()
+        if len(batch.kinds):
+            yield batch
 
 
 class ComposedWorkload(Workload):
@@ -145,6 +264,22 @@ class ComposedWorkload(Workload):
         per_part = [p.streams(num_threads, seed) for p in self.parts]
 
         def chain(tid: int) -> Iterator[Event]:
+            for part_streams in per_part:
+                yield from part_streams[tid]
+
+        return [chain(t) for t in range(num_threads)]
+
+    def batch_streams(
+        self, num_threads: int, seed: int
+    ) -> Optional[List[Iterator[EventBatch]]]:
+        """Chain the parts' batch streams; ``None`` unless every part
+        has a native emitter (mixing encodings would silently change the
+        machine's execution path mid-run)."""
+        per_part = [p.batch_streams(num_threads, seed) for p in self.parts]
+        if any(streams is None for streams in per_part):
+            return None
+
+        def chain(tid: int) -> Iterator[EventBatch]:
             for part_streams in per_part:
                 yield from part_streams[tid]
 

@@ -24,6 +24,15 @@ def test_duplicate_insert_rejected():
         c.insert(1)
 
 
+def test_insert_absent_skips_membership_check():
+    """The hot-path variant behaves like insert for genuinely new keys."""
+    c = LruCache()
+    c.insert_absent(1)
+    c.insert_absent(2)
+    assert list(c) == [1, 2]
+    c.check_invariants()
+
+
 def test_eviction_order_is_lru():
     c = LruCache()
     for k in (1, 2, 3):

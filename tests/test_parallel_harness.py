@@ -1,0 +1,161 @@
+"""Process-parallel grids and the on-disk result cache.
+
+Determinism contract: a grid executed with ``jobs=N`` must equal the
+sequential sweep bit for bit, because each cell is a pure function of
+``(HarnessConfig, name, technique, threads, ProfileSummary)``.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.experiments.cache import ResultCache
+from repro.experiments.harness import (
+    Harness,
+    HarnessConfig,
+    ProfileSummary,
+    execute_cell,
+    sc_factory_kwargs,
+)
+from repro.experiments.parallel import grid_for, run_grid_parallel
+
+CONFIG = HarnessConfig(scale=0.02, seed=7)
+
+CELLS = [
+    (name, technique, 1)
+    for name in ("water-spatial", "barnes")
+    for technique in ("ER", "SC", "SC-offline", "BEST")
+]
+
+
+def _dicts(results):
+    return {cell: results[cell].to_dict() for cell in results}
+
+
+def test_parallel_grid_equals_sequential():
+    sequential = Harness(CONFIG).run_grid(CELLS, jobs=1)
+    parallel = Harness(CONFIG).run_grid(CELLS, jobs=4)
+    assert _dicts(parallel) == _dicts(sequential)
+
+
+def test_parallel_results_land_in_harness_cache():
+    harness = Harness(CONFIG)
+    run_grid_parallel(harness, CELLS, jobs=2)
+    # Re-requesting through the normal API must be pure cache hits:
+    # identical objects, no recomputation.
+    for cell in CELLS:
+        assert harness.run(*cell) is harness._runs[cell]
+
+
+def test_execute_cell_is_pure_and_matches_harness():
+    harness = Harness(CONFIG)
+    want = harness.run("water-spatial", "SC-offline", 1)
+    summary = harness.profile_summary("water-spatial")
+    direct = execute_cell(CONFIG, "water-spatial", "SC-offline", 1, summary)
+    assert direct.to_dict() == want.to_dict()
+
+
+def test_sc_factory_kwargs_requires_summary():
+    harness = Harness(CONFIG)
+    workload = harness.workload("water-spatial")
+    from repro.common.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError):
+        sc_factory_kwargs(CONFIG, workload, "SC", 1, None)
+    assert sc_factory_kwargs(CONFIG, workload, "ER", 1, None) == {}
+    kwargs = sc_factory_kwargs(
+        CONFIG, workload, "SC-offline", 1,
+        ProfileSummary(persistent_stores=1000, offline_size=23),
+    )
+    assert kwargs == {"sc_fixed_size": 23}
+
+
+# ---------------------------------------------------------------------------
+# Disk cache
+# ---------------------------------------------------------------------------
+
+
+def test_disk_cache_round_trip(tmp_path):
+    cache_dir = str(tmp_path / "cache")
+    first = Harness(CONFIG, cache_dir=cache_dir).run("barnes", "SC", 1)
+    # A fresh harness over the same directory serves the run from disk.
+    reloaded = Harness(CONFIG, cache_dir=cache_dir)
+    assert reloaded.run("barnes", "SC", 1).to_dict() == first.to_dict()
+    assert ("barnes", "SC", 1) in reloaded._runs
+    assert any(f.endswith(".json") for f in os.listdir(cache_dir))
+
+
+def test_disk_cache_profile_summary_round_trip(tmp_path):
+    cache_dir = str(tmp_path / "cache")
+    summary = Harness(CONFIG, cache_dir=cache_dir).profile_summary("barnes")
+    reloaded = Harness(CONFIG, cache_dir=cache_dir)
+    assert reloaded.profile_summary("barnes") == summary
+    # Served from disk: no profile run happened in the new harness.
+    assert reloaded._profiles == {}
+
+
+def test_disk_cache_key_covers_the_whole_config(tmp_path):
+    base = ResultCache.key(CONFIG, "run", name="barnes", technique="SC", threads=1)
+    assert base == ResultCache.key(
+        CONFIG, "run", name="barnes", technique="SC", threads=1
+    )
+    for other in (
+        HarnessConfig(scale=0.02, seed=8),
+        HarnessConfig(scale=0.03, seed=7),
+        HarnessConfig(scale=0.02, seed=7, l1_ways=4),
+    ):
+        assert ResultCache.key(
+            other, "run", name="barnes", technique="SC", threads=1
+        ) != base
+    assert ResultCache.key(
+        CONFIG, "profile_summary", name="barnes", technique="SC", threads=1
+    ) != base
+
+
+def test_corrupt_cache_entry_is_a_miss(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    key = "0" * 64
+    cache.put(key, {"x": 1})
+    assert cache.get(key) == {"x": 1}
+    with open(os.path.join(str(tmp_path), f"{key}.json"), "w") as fh:
+        fh.write("{not json")
+    assert cache.get(key) is None
+
+
+def test_run_result_serialization_drops_traces():
+    harness = Harness(CONFIG)
+    result = harness.profile("water-spatial")
+    data = result.to_dict()
+    assert data["has_traces"] is True
+    assert json.loads(json.dumps(data)) == data
+    from repro.nvram.stats import RunResult
+
+    back = RunResult.from_dict(data)
+    assert back.traces is None
+    assert back.to_dict() == {**data, "has_traces": False}
+    assert back.flush_ratio == result.flush_ratio
+    assert back.time == result.time
+
+
+# ---------------------------------------------------------------------------
+# Artifact grids
+# ---------------------------------------------------------------------------
+
+
+def test_grid_for_matches_artifact_loops():
+    harness = Harness(CONFIG)
+    table1 = grid_for(harness, "table1")
+    assert ("barnes", "ER", 1) in table1 and ("barnes", "BEST", 1) in table1
+    assert len(table1) == 14
+    table2 = grid_for(harness, "table2")
+    assert table2 == [
+        ("mdb", t, 8) for t in ("ER", "AT", "SC", "SC-offline", "BEST")
+    ]
+    assert len(grid_for(harness, "table3")) == 12 * 5
+    assert grid_for(harness, "figure2") == []
+    everything = grid_for(harness, "all")
+    assert set(grid_for(harness, "figure5")) <= set(everything)
+    assert len(everything) == len(set(everything))
+    with pytest.raises(KeyError):
+        grid_for(harness, "figure9")

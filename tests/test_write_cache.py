@@ -44,6 +44,17 @@ def test_drain_empties_and_returns_all():
     assert c.drains == 1
 
 
+def test_drain_of_empty_cache_is_not_counted():
+    """Back-to-back FASEs with no stores must not inflate ``drains``."""
+    c = WriteCombiningCache(4)
+    assert c.drain() == []
+    assert c.drains == 0
+    c.access(1)
+    assert c.drain() == [1]
+    assert c.drain() == []    # already empty again
+    assert c.drains == 1
+
+
 def test_resize_shrink_evicts_lru_first():
     c = WriteCombiningCache(4)
     for line in (1, 2, 3, 4):

@@ -1,0 +1,19 @@
+#!/usr/bin/env python
+"""Run the pinned benchmark suite (wrapper for repro.experiments.bench).
+
+Usable without installing the package::
+
+    python tools/bench.py [--quick] [--out PATH]
+"""
+
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+from repro.experiments.bench import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())
