@@ -19,9 +19,10 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.common.errors import ConfigurationError
-from repro.locality.knee import SelectionPolicy, select_cache_size
+from repro.locality.knee import SelectionPolicy, find_knees
 from repro.locality.mrc import MissRatioCurve
 from repro.locality.sampling import DEFAULT_BURST_LENGTH, BurstSampler
+from repro.obs.trace import EV_BURST_START, EV_KNEE_CANDIDATE, EV_MRC_COMPUTED
 
 
 @dataclass(frozen=True)
@@ -61,7 +62,7 @@ class AdaptiveConfig:
 class AdaptiveController:
     """Drives one thread's cache-size adaptation."""
 
-    __slots__ = ("config", "sampler", "last_mrc", "last_size", "analyses")
+    __slots__ = ("config", "sampler", "last_mrc", "last_size", "analyses", "port")
 
     def __init__(self, config: Optional[AdaptiveConfig] = None) -> None:
         self.config = config or AdaptiveConfig()
@@ -73,6 +74,9 @@ class AdaptiveController:
         self.last_mrc: Optional[MissRatioCurve] = None
         self.last_size: Optional[int] = None
         self.analyses = 0
+        #: The owning technique's flush port, attached at ``bind`` time;
+        #: used only for structured trace events (burst/MRC/knees).
+        self.port = None
 
     @property
     def sampling(self) -> bool:
@@ -85,13 +89,26 @@ class AdaptiveController:
         Returns ``None`` on the (vastly common) path where the burst is
         still filling or the sampler is hibernating.
         """
-        if not self.sampler.record(line, fase_id):
+        sampler = self.sampler
+        port = self.port
+        if port is not None and sampler.recorded == 0 and sampler.recording:
+            port.record_event(EV_BURST_START, self.config.burst_length)
+        if not sampler.record(line, fase_id):
             return None
-        mrc = self.sampler.analyze()
-        size = select_cache_size(mrc, self.config.selection)
+        mrc = sampler.analyze()
+        # select_cache_size inlined over find_knees so the candidates
+        # themselves are visible to the trace, not just the winner.
+        knees = find_knees(mrc, self.config.selection)
+        size = max(k.size for k in knees) if knees else self.config.selection.max_size
         self.last_mrc = mrc
         self.last_size = size
         self.analyses += 1
+        if port is not None:
+            port.record_event(EV_MRC_COMPUTED, self.analysis_cost(), len(knees))
+            for knee in knees:
+                port.record_event(
+                    EV_KNEE_CANDIDATE, knee.size, int(knee.miss_ratio * 1_000_000)
+                )
         return size
 
     def analysis_cost(self) -> int:

@@ -176,6 +176,13 @@ class SoftwareCacheTechnique(PersistenceTechnique):
 
             self.on_store = _fixed_on_store
 
+    def bind(self, port) -> None:
+        super().bind(port)
+        if self.controller is not None:
+            # The controller emits its burst/MRC/knee trace events
+            # through the thread's flush port.
+            self.controller.port = port
+
     def _resize(self, new_size: int) -> None:
         port = self.port
         port.record_selected_size(new_size)

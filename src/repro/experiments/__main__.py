@@ -1,4 +1,4 @@
-"""Command-line entry point: regenerate any table or figure.
+"""Command-line entry point: regenerate any table or figure, or trace a run.
 
 Examples::
 
@@ -6,10 +6,21 @@ Examples::
     python -m repro.experiments figure5 --scale 0.3
     python -m repro.experiments all --write EXPERIMENTS.md
     python -m repro.experiments all --jobs 4        # parallel sweep
+    python -m repro.experiments run --workload mdb --technique SC \\
+        --threads 8 --trace mdb-sc.chrome.json --metrics mdb-sc.metrics.json
 
 ``--jobs N`` pre-computes the artifact's run grid on N worker processes
-(results are bit-identical to the sequential sweep); ``--cache-dir``
-persists completed runs as JSON so repeat invocations skip simulation.
+(results are bit-identical to the sequential sweep) with a per-cell
+heartbeat on stderr; ``--cache-dir`` persists completed runs as JSON so
+repeat invocations skip simulation.
+
+The ``run`` pseudo-artifact executes one ``(workload, technique,
+threads)`` cell with the observability layer attached: ``--trace PATH``
+writes the structured event trace (a ``.jsonl`` suffix selects JSON
+lines, anything else the Chrome ``trace_event`` format — load it in
+Perfetto or ``chrome://tracing``; repeatable for both), and
+``--metrics PATH`` dumps the sampled metrics registry
+(``--metrics-interval`` model cycles between samples).
 """
 
 from __future__ import annotations
@@ -23,6 +34,44 @@ from repro.experiments.harness import Harness, HarnessConfig
 from repro.experiments.report import GENERATORS, generate
 
 
+def _heartbeat(done: int, total: int, cell) -> None:
+    """The per-cell progress line parallel sweeps print to stderr."""
+    name, technique, threads = cell
+    print(f"[{done}/{total}] {name}/{technique}/{threads}", file=sys.stderr)
+
+
+def _run_traced(harness: Harness, args: argparse.Namespace) -> int:
+    """The ``run`` pseudo-artifact: one cell with tracing/metrics on."""
+    from repro.obs.runner import traced_run
+
+    result, recorder, metrics = traced_run(
+        harness,
+        args.workload,
+        args.technique,
+        threads=args.threads,
+        metrics_interval=args.metrics_interval if args.metrics else None,
+    )
+    print(repr(result))
+    counts = recorder.counts()
+    if counts:
+        print("trace events: " + ", ".join(f"{k}={v}" for k, v in counts.items()))
+    else:
+        print("trace events: none")
+    sizes = result.selected_sizes
+    if any(sizes.values()):
+        print(f"selected sizes: {sizes}")
+    for path in args.trace or []:
+        if path.endswith(".jsonl"):
+            recorder.write_jsonl(path)
+        else:
+            recorder.write_chrome(path)
+        print(f"wrote {path}", file=sys.stderr)
+    if args.metrics:
+        metrics.write_json(args.metrics)
+        print(f"wrote {args.metrics}", file=sys.stderr)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point (see module docstring); returns an exit code."""
     parser = argparse.ArgumentParser(
@@ -31,8 +80,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "artifact",
-        choices=sorted(GENERATORS) + ["all"],
-        help="which table/figure to regenerate",
+        choices=sorted(GENERATORS) + ["all", "run"],
+        help="which table/figure to regenerate, or 'run' for one traced cell",
     )
     parser.add_argument(
         "--scale",
@@ -68,6 +117,36 @@ def main(argv: Optional[List[str]] = None) -> int:
         metavar="DIR",
         help="also render the figure's chart(s) as SVG into DIR",
     )
+    tracing = parser.add_argument_group("'run' (traced single cell)")
+    tracing.add_argument(
+        "--workload", default="mdb", help="workload name (default mdb)"
+    )
+    tracing.add_argument(
+        "--technique", default="SC", help="persistence technique (default SC)"
+    )
+    tracing.add_argument(
+        "--threads", type=int, default=1, help="simulated threads (default 1)"
+    )
+    tracing.add_argument(
+        "--trace",
+        action="append",
+        metavar="PATH",
+        help="write the structured trace; '.jsonl' suffix selects JSON "
+        "lines, anything else Chrome trace_event (Perfetto); repeatable",
+    )
+    tracing.add_argument(
+        "--metrics",
+        default=None,
+        metavar="PATH",
+        help="dump the sampled metrics registry as JSON",
+    )
+    tracing.add_argument(
+        "--metrics-interval",
+        type=int,
+        default=10_000,
+        metavar="N",
+        help="model cycles between metric samples (default 10000)",
+    )
     args = parser.parse_args(argv)
 
     harness = Harness(
@@ -75,13 +154,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         cache_dir=args.cache_dir,
     )
     start = time.time()
+    if args.artifact == "run":
+        rc = _run_traced(harness, args)
+        print(f"\n[{time.time() - start:.1f}s]", file=sys.stderr)
+        return rc
     if args.jobs > 1:
         from repro.experiments.parallel import grid_for
 
         cells = grid_for(harness, args.artifact)
         if cells:
             grid_start = time.time()
-            harness.run_grid(cells, jobs=args.jobs)
+            harness.run_grid(cells, jobs=args.jobs, progress=_heartbeat)
             print(
                 f"[grid: {len(cells)} cells on {args.jobs} workers in "
                 f"{time.time() - grid_start:.1f}s]",

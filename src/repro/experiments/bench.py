@@ -61,6 +61,10 @@ from repro.workloads.registry import get_workload
 #: Everything below is pinned: changing any value breaks comparability
 #: across committed BENCH files, so bump ``SUITE_VERSION`` if you must.
 SUITE_VERSION = 1
+#: Shape of the payload ``tools/bench_compare.py`` consumes (simulator
+#: row fields, metric names).  Documents written before the field
+#: existed are schema 1; the comparator refuses cross-schema diffs.
+BENCH_SCHEMA_VERSION = 1
 BENCH_SEED = 7
 
 #: Simulator bench: (workload, technique, factory kwargs).  BEST is the
@@ -222,11 +226,15 @@ def run_suite(
     reuse_intervals = 50_000 if quick else REUSE_INTERVALS
     return {
         "suite_version": SUITE_VERSION,
+        "schema_version": BENCH_SCHEMA_VERSION,
         "date": time.strftime("%Y-%m-%d"),
         "quick": quick,
         "reps": reps,
+        # Host metadata: a trajectory point is only comparable against
+        # another from a similar host, so record what the host was.
         "python": platform.python_version(),
         "platform": platform.platform(),
+        "machine": platform.machine(),
         "cpus": os.cpu_count(),
         "simulator": (sim := bench_simulator(sim_scale, reps)),
         "simulator_speedup_geomean": round(

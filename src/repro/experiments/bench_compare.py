@@ -1,0 +1,193 @@
+"""Diff two ``BENCH_<date>.json`` trajectory points; gate on regression.
+
+The committed BENCH files form a perf trajectory across PRs (see
+:mod:`repro.experiments.bench`).  This module compares a *base* and a
+*new* document case-by-case on the pinned simulator suite and fails when
+the geometric-mean batched-path throughput regresses by more than a
+threshold — the guard that keeps the batched fast path fast while layers
+(like ``repro.obs``) grow around it.
+
+Rules:
+
+- Documents must share a ``schema_version``; files written before the
+  field existed are schema 1 (the row shape is unchanged).  Cross-schema
+  diffs are refused (exit code 2) rather than silently misread.
+- The gated metric is ``batched_eps`` (events/second on the batched
+  fast path), geometric mean over the (workload, technique) cases both
+  documents measured.  ``per_event_eps`` and the reuse-accumulator
+  throughput ride along as informational rows.
+- Quick-mode documents use smaller pinned scales, so a quick-vs-full
+  diff is flagged in the report; the throughput comparison stays
+  meaningful (events/second, not wall clock) but CI should pair it with
+  a generous threshold.
+
+Usage::
+
+    python tools/bench_compare.py BENCH_2026-08-06.json BENCH_new.json
+    python tools/bench_compare.py base.json new.json --max-regress 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional
+
+from repro.common.errors import ConfigurationError
+from repro.experiments.metrics import format_table, geometric_mean
+
+#: Default tolerated geomean throughput regression, percent.
+DEFAULT_MAX_REGRESS = 3.0
+
+#: Exit codes: 0 ok, 1 regression beyond threshold, 2 incomparable docs.
+EXIT_OK = 0
+EXIT_REGRESSION = 1
+EXIT_INCOMPARABLE = 2
+
+
+def load_bench(path: str) -> Dict:
+    """Load one BENCH document from disk."""
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if "simulator" not in doc:
+        raise ConfigurationError(f"{path}: not a BENCH document (no 'simulator')")
+    return doc
+
+
+def schema_version(doc: Dict) -> int:
+    """The document's schema version; pre-field files are schema 1."""
+    return int(doc.get("schema_version", 1))
+
+
+def compare(
+    base: Dict, new: Dict, max_regress: float = DEFAULT_MAX_REGRESS
+) -> Dict:
+    """Compare two BENCH documents; return the structured verdict.
+
+    Raises :class:`ConfigurationError` when the documents cannot be
+    compared (schema mismatch, or no common simulator cases).
+    """
+    base_schema, new_schema = schema_version(base), schema_version(new)
+    if base_schema != new_schema:
+        raise ConfigurationError(
+            f"cannot diff across schemas: base is schema {base_schema}, "
+            f"new is schema {new_schema}"
+        )
+    base_rows = {(r["workload"], r["technique"]): r for r in base["simulator"]}
+    new_rows = {(r["workload"], r["technique"]): r for r in new["simulator"]}
+    common = [k for k in base_rows if k in new_rows]
+    if not common:
+        raise ConfigurationError("the documents share no simulator cases")
+
+    cases: List[Dict] = []
+    for key in common:
+        b, n = base_rows[key], new_rows[key]
+        cases.append(
+            {
+                "workload": key[0],
+                "technique": key[1],
+                "base_batched_eps": b["batched_eps"],
+                "new_batched_eps": n["batched_eps"],
+                "batched_ratio": n["batched_eps"] / b["batched_eps"],
+                "per_event_ratio": n["per_event_eps"] / b["per_event_eps"],
+            }
+        )
+    batched_geomean = geometric_mean(c["batched_ratio"] for c in cases)
+    per_event_geomean = geometric_mean(c["per_event_ratio"] for c in cases)
+    regress_pct = (1.0 - batched_geomean) * 100.0
+
+    notes: List[str] = []
+    if bool(base.get("quick")) != bool(new.get("quick")):
+        notes.append(
+            "quick flags differ (pinned scales differ between the runs); "
+            "events/sec comparison is approximate"
+        )
+    dropped = sorted(set(base_rows) - set(new_rows))
+    if dropped:
+        notes.append(f"cases only in base (not compared): {dropped}")
+    added = sorted(set(new_rows) - set(base_rows))
+    if added:
+        notes.append(f"cases only in new (not compared): {added}")
+    reuse_ratio: Optional[float] = None
+    if "reuse_counts" in base and "reuse_counts" in new:
+        reuse_ratio = (
+            new["reuse_counts"]["intervals_per_sec"]
+            / base["reuse_counts"]["intervals_per_sec"]
+        )
+
+    return {
+        "schema_version": base_schema,
+        "cases": cases,
+        "batched_geomean": batched_geomean,
+        "per_event_geomean": per_event_geomean,
+        "reuse_ratio": reuse_ratio,
+        "regress_pct": regress_pct,
+        "max_regress": max_regress,
+        "ok": regress_pct <= max_regress,
+        "notes": notes,
+    }
+
+
+def format_report(verdict: Dict) -> str:
+    """Render the verdict as an aligned plain-text report."""
+    rows = [
+        [
+            c["workload"],
+            c["technique"],
+            c["base_batched_eps"],
+            c["new_batched_eps"],
+            f"{c['batched_ratio']:.3f}x",
+            f"{c['per_event_ratio']:.3f}x",
+        ]
+        for c in verdict["cases"]
+    ]
+    lines = [
+        format_table(
+            ["workload", "technique", "base eps", "new eps", "batched", "per-event"],
+            rows,
+        ),
+        "",
+        f"batched geomean    {verdict['batched_geomean']:.3f}x "
+        f"(regression {verdict['regress_pct']:+.1f}%, "
+        f"threshold {verdict['max_regress']:.1f}%)",
+        f"per-event geomean  {verdict['per_event_geomean']:.3f}x",
+    ]
+    if verdict["reuse_ratio"] is not None:
+        lines.append(f"reuse_counts       {verdict['reuse_ratio']:.3f}x")
+    for note in verdict["notes"]:
+        lines.append(f"note: {note}")
+    lines.append("PASS" if verdict["ok"] else "FAIL: throughput regression")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="bench-compare",
+        description="Diff two BENCH_*.json files; fail on geomean "
+        "batched-throughput regression beyond the threshold.",
+    )
+    parser.add_argument("base", help="baseline BENCH_*.json (e.g. the committed one)")
+    parser.add_argument("new", help="candidate BENCH_*.json to vet")
+    parser.add_argument(
+        "--max-regress",
+        type=float,
+        default=DEFAULT_MAX_REGRESS,
+        metavar="PCT",
+        help=f"tolerated geomean regression in percent "
+        f"(default {DEFAULT_MAX_REGRESS})",
+    )
+    args = parser.parse_args(argv)
+    try:
+        verdict = compare(
+            load_bench(args.base), load_bench(args.new), args.max_regress
+        )
+    except (ConfigurationError, OSError, json.JSONDecodeError) as exc:
+        print(f"bench-compare: {exc}", file=sys.stderr)
+        return EXIT_INCOMPARABLE
+    print(format_report(verdict))
+    return EXIT_OK if verdict["ok"] else EXIT_REGRESSION
+
+
+if __name__ == "__main__":
+    sys.exit(main())

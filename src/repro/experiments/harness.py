@@ -282,9 +282,15 @@ class Harness:
             )
             data = self._disk.get(disk_key)
             if data is not None:
-                result = RunResult.from_dict(data)
-                self._runs[key] = result
-                return result
+                try:
+                    result = RunResult.from_dict(data)
+                except ConfigurationError:
+                    # Stale entry from another schema version: treat as
+                    # a miss and recompute (the put below overwrites it).
+                    result = None
+                if result is not None:
+                    self._runs[key] = result
+                    return result
         summary = (
             self.profile_summary(name)
             if technique in ("SC", "SC-offline")
@@ -306,7 +312,7 @@ class Harness:
         return {t: self.run(name, t, threads) for t in techniques}
 
     def run_grid(
-        self, cells: Iterable[Cell], jobs: int = 1
+        self, cells: Iterable[Cell], jobs: int = 1, progress=None
     ) -> Dict[Cell, RunResult]:
         """Execute a batch of cells, optionally across worker processes.
 
@@ -316,13 +322,21 @@ class Harness:
         configuration.  Either way, completed cells land in this
         harness's in-memory cache, so artifact generators that re-request
         them afterwards get hits.
+
+        ``progress(done, total, cell)``, if given, is invoked after each
+        completed cell on both the sequential and parallel paths.
         """
         cells = list(dict.fromkeys(cells))
         if jobs > 1 and len(cells) > 1:
             from repro.experiments.parallel import run_grid_parallel
 
-            return run_grid_parallel(self, cells, jobs)
-        return {cell: self.run(*cell) for cell in cells}
+            return run_grid_parallel(self, cells, jobs, progress=progress)
+        results: Dict[Cell, RunResult] = {}
+        for cell in cells:
+            results[cell] = self.run(*cell)
+            if progress is not None:
+                progress(len(results), len(cells), cell)
+        return results
 
     # ------------------------------------------------------------------
 

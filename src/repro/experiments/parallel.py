@@ -73,12 +73,21 @@ def _cells_worker(
 # ---------------------------------------------------------------------------
 
 
-def run_grid_parallel(harness: Harness, cells: Sequence[Cell], jobs: int):
+def run_grid_parallel(
+    harness: Harness,
+    cells: Sequence[Cell],
+    jobs: int,
+    progress=None,
+):
     """Fan ``cells`` over ``jobs`` worker processes.
 
     Cells already in the harness's memory cache are served from it;
     everything computed by workers is folded back in, so the calling
     harness ends up in the same state as after a sequential sweep.
+
+    ``progress``, if given, is called as ``progress(done, total, cell)``
+    after every completed cell — the per-cell heartbeat long parallel
+    sweeps print so a stalled worker is visible before the pool joins.
     """
     cells = list(dict.fromkeys(cells))
     results: Dict[Cell, object] = {}
@@ -87,6 +96,8 @@ def run_grid_parallel(harness: Harness, cells: Sequence[Cell], jobs: int):
         cached = harness._runs.get(cell)
         if cached is not None:
             results[cell] = cached
+            if progress is not None:
+                progress(len(results), len(cells), cell)
         else:
             pending.append(cell)
     if not pending:
@@ -126,6 +137,8 @@ def run_grid_parallel(harness: Harness, cells: Sequence[Cell], jobs: int):
             for cell, result in future.result():
                 harness._runs[cell] = result
                 results[cell] = result
+                if progress is not None:
+                    progress(len(results), len(cells), cell)
     return results
 
 
@@ -172,13 +185,15 @@ def grid_for(harness: Harness, artifact: str) -> List[Cell]:
         for name in splash2 + ["mdb"]:
             for n in (1, 8):
                 cells += [(name, "SC", n), (name, "SC-offline", n)]
+    elif artifact == "adaptation":
+        cells += [(name, "SC", 1) for name in everything]
     elif artifact in ("figure2", "figure7"):
         pass
     elif artifact == "all":
         seen = dict.fromkeys(
             cell
             for art in (
-                "table1", "table2", "table3", "table4",
+                "table1", "table2", "table3", "table4", "adaptation",
                 "figure4", "figure5", "figure6", "figure8",
             )
             for cell in grid_for(harness, art)

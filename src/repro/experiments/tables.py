@@ -56,6 +56,22 @@ class Artifact:
         return f"{self.title}\n\n{self.text}"
 
 
+def _adapted_sizes(result) -> List[int]:
+    """The size each adapting thread settled on (final selection)."""
+    return [
+        sizes[-1]
+        for _tid, sizes in sorted(result.selected_sizes.items())
+        if sizes
+    ]
+
+
+def _sizes_text(final: List[int]) -> str:
+    """Compact rendering of per-thread final sizes for a table cell."""
+    if not final:
+        return "-"
+    return ",".join(str(s) for s in sorted(set(final)))
+
+
 def table1(harness: Harness) -> Artifact:
     """Table I: the cost of eager persistence on SPLASH2.
 
@@ -100,16 +116,18 @@ def table2(harness: Harness, threads: int = 8) -> Artifact:
                 "time_cycles": results[t].time,
                 "speedup": round(speedup(er, results[t]), 2),
                 "paper_speedup": PAPER_TABLE2_SPEEDUPS[t],
+                "adapted_sizes": _adapted_sizes(results[t]),
             }
         )
     text = format_table(
-        ["method", "time (Mcycles)", "speedup", "paper"],
+        ["method", "time (Mcycles)", "speedup", "paper", "sizes"],
         [
             [
                 r["method"],
                 f"{r['time_cycles'] / 1e6:.2f}",
                 f"{r['speedup']}x",
                 f"{r['paper_speedup']}x",
+                _sizes_text(r["adapted_sizes"]),
             ]
             for r in rows
         ],
@@ -212,11 +230,13 @@ def table4(
             row[f"inst_{key}"] = r.instructions
             row[f"flush_ratio_{key}"] = r.flush_ratio
             row[f"l1_mr_{key}"] = r.l1_miss_ratio
+            if t == "SC":
+                row["sc_sizes"] = _adapted_sizes(r)
         rows.append(row)
     text = format_table(
         ["threads", "inst AT", "inst SC", "inst BE",
          "flush% AT", "flush% SC", "flush% BE",
-         "L1 mr AT", "L1 mr SC", "L1 mr BE"],
+         "L1 mr AT", "L1 mr SC", "L1 mr BE", "SC sizes"],
         [
             [
                 r["threads"],
@@ -229,10 +249,56 @@ def table4(
                 f"{100 * r['l1_mr_at']:.2f}%",
                 f"{100 * r['l1_mr_sc']:.2f}%",
                 f"{100 * r['l1_mr_be']:.2f}%",
+                _sizes_text(r["sc_sizes"]),
             ]
             for r in rows
         ],
     )
     return Artifact(
         "table4", "Table IV: water-spatial across thread counts", rows, text=text
+    )
+
+
+def adaptation(harness: Harness) -> Artifact:
+    """Adaptation history: online SC size selections vs the offline knee.
+
+    One row per benchmark: every size the single-thread online run
+    selected (in selection order), the size it settled on, and the
+    whole-trace offline choice — the paper's claim that burst sampling
+    finds (nearly) the offline size, made inspectable per workload.
+    """
+    rows = []
+    for name in harness.all_workloads():
+        sc = harness.run(name, "SC")
+        history = list(sc.selected_sizes.get(0, []))
+        final = history[-1] if history else None
+        offline = harness.offline_size(name)
+        rows.append(
+            {
+                "benchmark": name,
+                "history": history,
+                "selections": len(history),
+                "final": final,
+                "offline": offline,
+                "delta": (final - offline) if final is not None else None,
+            }
+        )
+    text = format_table(
+        ["benchmark", "history", "final", "offline", "delta"],
+        [
+            [
+                r["benchmark"],
+                " -> ".join(str(s) for s in r["history"]) or "-",
+                "-" if r["final"] is None else r["final"],
+                r["offline"],
+                "-" if r["delta"] is None else f"{r['delta']:+d}",
+            ]
+            for r in rows
+        ],
+    )
+    return Artifact(
+        "adaptation",
+        "Adaptation history: online SC size selections vs offline knee",
+        rows,
+        text=text,
     )

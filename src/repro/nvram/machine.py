@@ -37,6 +37,15 @@ from repro.nvram.hwcache import HardwareCache
 from repro.nvram.memory import NVRAM_BASE, MainMemory
 from repro.nvram.stats import RunResult, ThreadStats
 from repro.nvram.timing import DEFAULT_TIMING, TimingModel
+from repro.obs.trace import (
+    EV_DRAIN,
+    EV_EVICT_FLUSH,
+    EV_FASE_BEGIN,
+    EV_FASE_END,
+    EV_SIZE_SELECTED,
+    EV_STALL,
+    NULL_RECORDER,
+)
 
 #: Events a thread executes before the scheduler re-evaluates clocks.
 SCHED_BATCH = 64
@@ -113,7 +122,23 @@ class FlushPort:
 
     def record_selected_size(self, size: int) -> None:
         """Log an adaptive cache-size decision."""
-        self._ctx.stats.selected_sizes.append(size)
+        ctx = self._ctx
+        ctx.stats.selected_sizes.append(size)
+        rec = self._machine.recorder
+        if rec.enabled:
+            rec.record(EV_SIZE_SELECTED, ctx.thread_id, ctx.stats.cycles, size)
+
+    def record_event(self, kind: str, a: int = 0, b: int = 0) -> None:
+        """Emit one structured trace event at the thread's current time.
+
+        A no-op when tracing is off — techniques and controllers call
+        this unconditionally; the ``enabled`` gate keeps the cost to one
+        attribute load.
+        """
+        rec = self._machine.recorder
+        if rec.enabled:
+            ctx = self._ctx
+            rec.record(kind, ctx.thread_id, ctx.stats.cycles, a, b)
 
     # -- context ---------------------------------------------------------
 
@@ -186,7 +211,12 @@ class Machine:
         Machine configuration (timing model, cache geometry).
     """
 
-    def __init__(self, config: Optional[MachineConfig] = None) -> None:
+    def __init__(
+        self,
+        config: Optional[MachineConfig] = None,
+        recorder: Optional[object] = None,
+        metrics: Optional[object] = None,
+    ) -> None:
         self.config = config or MachineConfig()
         self.memory = MainMemory()
         self.hwcache = HardwareCache(
@@ -194,6 +224,12 @@ class Machine:
             self.config.l1_ways,
             track_values=self.config.track_values,
         )
+        # Observability is strictly opt-in: the default NULL_RECORDER has
+        # ``enabled = False``, which every recording site checks first,
+        # so an untraced run does no extra work (DESIGN.md §9).
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
+        self.metrics = metrics
+        self._metrics_prev: dict = {}
         self._stores_seen = 0
         self._crash_plan: Optional[CrashPlan] = None
         self.crashed_state: Optional[CrashedState] = None
@@ -236,16 +272,29 @@ class Machine:
             values = self.hwcache.take_values(line)
             if values:
                 self.memory.write_back(values.items())
+        stall = 0
         if dirty:
             now, stall = ctx.flushq.issue(stats.cycles)
             stats.cycles = now
             stats.stall_cycles += stall
+        rec = self.recorder
+        if rec.enabled:
+            if category == "eviction":
+                rec.record(
+                    EV_EVICT_FLUSH, ctx.thread_id, stats.cycles, line, int(dirty)
+                )
+            if stall:
+                rec.record(EV_STALL, ctx.thread_id, stats.cycles, stall, 0)
 
     def _do_drain(self, ctx: _ThreadContext) -> None:
         stats = ctx.stats
+        rec = self.recorder
+        outstanding = ctx.flushq.outstanding if rec.enabled else 0
         now, stall = ctx.flushq.drain(stats.cycles)
         stats.cycles = now
         stats.stall_cycles += stall
+        if rec.enabled:
+            rec.record(EV_DRAIN, ctx.thread_id, stats.cycles, stall, outstanding)
 
     def _evict_writeback(self, ctx: _ThreadContext, line: int) -> None:
         # A dirty line displaced by a fill: the hardware writes it back in
@@ -258,6 +307,10 @@ class Machine:
         now, stall = ctx.flushq.issue(stats.cycles)
         stats.cycles = now
         stats.stall_cycles += stall
+        if stall:
+            rec = self.recorder
+            if rec.enabled:
+                rec.record(EV_STALL, ctx.thread_id, stats.cycles, stall, 1)
 
     # ------------------------------------------------------------------
     # Event execution
@@ -320,6 +373,12 @@ class Machine:
         trace_fids = ctx.trace_fids
         evict_writeback = self._evict_writeback
         plan = self._crash_plan
+        # Structured tracing: ``recording`` gates the (rare) FASE-boundary
+        # sites below; with the null recorder the fast path adds only
+        # this one hoisted attribute load per quantum.
+        recorder = self.recorder
+        recording = recorder.enabled
+        thread_id = ctx.thread_id
         hit_cost = t.l1_hit
         miss_cost = t.l1_hit + t.l1_miss
         cpi = t.cpi
@@ -459,6 +518,10 @@ class Machine:
                         if ctx.fase_depth == 1:
                             ctx.fase_uid = ctx.next_fase_uid
                             ctx.next_fase_uid += 1
+                            if recording:
+                                recorder.record(
+                                    EV_FASE_BEGIN, thread_id, cycles, ctx.fase_uid
+                                )
                             stats.cycles = cycles
                             technique.on_fase_begin()
                             cycles = stats.cycles
@@ -474,6 +537,12 @@ class Machine:
                             technique.on_fase_end()
                             cycles = stats.cycles
                             fase_count += 1
+                            if recording:
+                                # After the drain, so the B/E span covers
+                                # the commit stall (same in both paths).
+                                recorder.record(
+                                    EV_FASE_END, thread_id, cycles, ctx.fase_uid
+                                )
                     i += 1
                 ctx.batch_pos = end
             return True
@@ -548,6 +617,11 @@ class Machine:
             if ctx.fase_depth == 1:
                 ctx.fase_uid = ctx.next_fase_uid
                 ctx.next_fase_uid += 1
+                rec = self.recorder
+                if rec.enabled:
+                    rec.record(
+                        EV_FASE_BEGIN, ctx.thread_id, stats.cycles, ctx.fase_uid
+                    )
                 technique.on_fase_begin()
         elif kind == EventKind.FASE_END:
             if ctx.fase_depth == 0:
@@ -558,8 +632,44 @@ class Machine:
             if ctx.fase_depth == 0:
                 technique.on_fase_end()
                 stats.fase_count += 1
+                rec = self.recorder
+                if rec.enabled:
+                    rec.record(
+                        EV_FASE_END, ctx.thread_id, stats.cycles, ctx.fase_uid
+                    )
         else:  # pragma: no cover - the event kinds above are exhaustive
             raise SimulationError(f"unknown event kind {kind}")
+
+    def _sample_metrics(self, ctx: _ThreadContext) -> None:
+        """Record one thread's gauge levels if its interval elapsed.
+
+        Called at quantum boundaries (every ``SCHED_BATCH`` events), so
+        sampling cost never touches the event hot loop.  All levels are
+        functions of deterministic model state, so repeated runs of one
+        configuration produce byte-identical registries.
+        """
+        m = self.metrics
+        stats = ctx.stats
+        now = stats.cycles
+        tid = ctx.thread_id
+        if not m.due(tid, now):
+            return
+        key = f"t{tid}"
+        m.sample(f"flush_queue_depth/{key}", now, ctx.flushq.outstanding)
+        # Software-cache (or Atlas-table) occupancy, for techniques that
+        # have one; duck-typed like the rest of the technique protocol.
+        buf = getattr(ctx.technique, "cache", None)
+        if buf is None:
+            buf = getattr(ctx.technique, "table", None)
+        if buf is not None:
+            m.sample(f"cache_occupancy/{key}", now, len(buf))
+        prev_flushes, prev_stores = self._metrics_prev.get(tid, (0, 0))
+        d_flushes = stats.flushes - prev_flushes
+        d_stores = stats.persistent_stores - prev_stores
+        self._metrics_prev[tid] = (stats.flushes, stats.persistent_stores)
+        m.sample(
+            f"flush_ratio/{key}", now, d_flushes / d_stores if d_stores else 0.0
+        )
 
     def _crash(self) -> None:
         self.crashed_state = CrashedState(
@@ -687,10 +797,13 @@ class Machine:
         # Smallest-clock-first interleaving; ties broken by thread id.
         heap: List[Tuple[int, int]] = [(0, ctx.thread_id) for ctx in contexts]
         heapq.heapify(heap)
+        metrics = self.metrics
         while heap:
             _, tid = heapq.heappop(heap)
             ctx = contexts[tid]
             alive = runner(ctx, SCHED_BATCH)
+            if metrics is not None:
+                self._sample_metrics(ctx)
             if self.crashed_state is not None:
                 break
             if alive:
@@ -703,6 +816,18 @@ class Machine:
                     )
                 ctx.technique.finish()
                 ctx.alive = False
+
+        if metrics is not None:
+            # Final run totals land as counters, so one registry dump is
+            # self-describing without the matching RunResult in hand.
+            for ctx in contexts:
+                s = ctx.stats
+                key = f"t{ctx.thread_id}"
+                metrics.inc(f"flushes/{key}", s.flushes)
+                metrics.inc(f"persistent_stores/{key}", s.persistent_stores)
+                metrics.inc(f"stall_cycles/{key}", s.stall_cycles)
+                metrics.inc(f"fase_count/{key}", s.fase_count)
+                metrics.set_gauge(f"cycles/{key}", s.cycles)
 
         traces = None
         if record_traces:

@@ -8,9 +8,10 @@ cycle times with the stall breakdown.
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, fields
 from typing import Dict, List, Optional
 
+from repro.common.errors import ConfigurationError
 from repro.locality.trace import WriteTrace
 
 
@@ -130,14 +131,60 @@ class RunResult:
             "has_traces": self.traces is not None,
         }
 
+    #: Exact key sets :meth:`from_dict` accepts.  An on-disk cache entry
+    #: written by an older (or newer) schema fails loudly here instead of
+    #: surfacing as a ``TypeError`` from ``ThreadStats(**t)``.
+    _REQUIRED_KEYS = frozenset(
+        {
+            "workload",
+            "technique",
+            "num_threads",
+            "threads",
+            "l1_accesses",
+            "l1_misses",
+            "crashed",
+        }
+    )
+    _OPTIONAL_KEYS = frozenset({"has_traces"})
+
     @classmethod
     def from_dict(cls, data: Dict) -> "RunResult":
-        """Rebuild a (traceless) result serialized by :meth:`to_dict`."""
+        """Rebuild a (traceless) result serialized by :meth:`to_dict`.
+
+        Raises
+        ------
+        ConfigurationError
+            If the payload's keys do not match this schema exactly —
+            the symptom of loading a stale cache entry written by a
+            different version of the counters.
+        """
+        keys = set(data)
+        missing = sorted(cls._REQUIRED_KEYS - keys)
+        unknown = sorted(keys - cls._REQUIRED_KEYS - cls._OPTIONAL_KEYS)
+        if missing or unknown:
+            raise ConfigurationError(
+                f"RunResult payload does not match the current schema "
+                f"(missing keys: {missing}, unknown keys: {unknown}); "
+                f"a stale cache entry from another version?"
+            )
+        thread_fields = {f.name for f in fields(ThreadStats)}
+        threads = []
+        for i, t in enumerate(data["threads"]):
+            tkeys = set(t)
+            tmissing = sorted(thread_fields - tkeys)
+            tunknown = sorted(tkeys - thread_fields)
+            if tmissing or tunknown:
+                raise ConfigurationError(
+                    f"ThreadStats payload #{i} does not match the current "
+                    f"schema (missing keys: {tmissing}, unknown keys: "
+                    f"{tunknown}); a stale cache entry from another version?"
+                )
+            threads.append(ThreadStats(**t))
         return cls(
             workload=data["workload"],
             technique=data["technique"],
             num_threads=data["num_threads"],
-            threads=[ThreadStats(**t) for t in data["threads"]],
+            threads=threads,
             l1_accesses=data["l1_accesses"],
             l1_misses=data["l1_misses"],
             traces=None,

@@ -1,0 +1,52 @@
+"""Observability for the simulator: structured traces and metrics.
+
+- :mod:`repro.obs.trace` — typed event recording with model-time
+  timestamps, exportable as JSONL and Chrome ``trace_event`` (Perfetto).
+- :mod:`repro.obs.metrics` — counters, gauges and interval-sampled time
+  series (cache occupancy, flush-queue depth, rolling flush ratio).
+- :mod:`repro.obs.runner` — ``traced_run``: one harness cell executed
+  with a live recorder/registry (the ``repro.experiments run`` CLI).
+
+Tracing is strictly opt-in: machines default to the shared
+:data:`~repro.obs.trace.NULL_RECORDER`, which keeps the batched
+simulator loop on its allocation-free fast path (DESIGN.md §9).
+"""
+
+from repro.obs.metrics import DEFAULT_INTERVAL, MetricsRegistry
+from repro.obs.trace import (
+    ARG_NAMES,
+    EV_BURST_START,
+    EV_DRAIN,
+    EV_EVICT_FLUSH,
+    EV_FASE_BEGIN,
+    EV_FASE_END,
+    EV_KNEE_CANDIDATE,
+    EV_MRC_COMPUTED,
+    EV_SIZE_SELECTED,
+    EV_STALL,
+    EVENT_KINDS,
+    NULL_RECORDER,
+    NullRecorder,
+    TraceEvent,
+    TraceRecorder,
+)
+
+__all__ = [
+    "ARG_NAMES",
+    "DEFAULT_INTERVAL",
+    "EVENT_KINDS",
+    "EV_BURST_START",
+    "EV_DRAIN",
+    "EV_EVICT_FLUSH",
+    "EV_FASE_BEGIN",
+    "EV_FASE_END",
+    "EV_KNEE_CANDIDATE",
+    "EV_MRC_COMPUTED",
+    "EV_SIZE_SELECTED",
+    "EV_STALL",
+    "MetricsRegistry",
+    "NULL_RECORDER",
+    "NullRecorder",
+    "TraceEvent",
+    "TraceRecorder",
+]

@@ -1,0 +1,107 @@
+"""The metrics registry: counters, gauges, model-time series.
+
+Where the trace recorder captures discrete events, the registry captures
+*levels*: cache occupancy, flush-queue depth, the rolling flush ratio —
+sampled at a configurable model-cycle interval, per thread, by the
+machine's scheduler loop (off the hot event loop, so the cost is one
+``is not None`` check per 64-event quantum when metrics are off).
+
+Time series are parallel ``(times, values)`` arrays keyed by name; the
+machine uses ``<metric>/t<thread>`` names so one registry holds every
+thread's series.  All timestamps are model cycles, so a registry dump is
+byte-identical across repeated runs of the same configuration.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Tuple
+
+from repro.common.errors import ConfigurationError
+
+#: Default sampling interval in model cycles.
+DEFAULT_INTERVAL = 10_000
+
+
+class MetricsRegistry:
+    """Counters, gauges and interval-sampled time series."""
+
+    __slots__ = ("interval", "counters", "gauges", "_series", "_next_due")
+
+    def __init__(self, interval: int = DEFAULT_INTERVAL) -> None:
+        if interval < 1:
+            raise ConfigurationError("metrics interval must be >= 1 cycle")
+        self.interval = interval
+        self.counters: Dict[str, int] = {}
+        self.gauges: Dict[str, float] = {}
+        self._series: Dict[str, Tuple[List[int], List[float]]] = {}
+        self._next_due: Dict[object, int] = {}
+
+    # -- counters / gauges ----------------------------------------------
+
+    def inc(self, name: str, delta: int = 1) -> None:
+        """Add ``delta`` to the counter ``name`` (created at 0)."""
+        self.counters[name] = self.counters.get(name, 0) + delta
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set the gauge ``name`` to its latest value."""
+        self.gauges[name] = value
+
+    # -- time series -----------------------------------------------------
+
+    def due(self, key: object, now: int) -> bool:
+        """True when ``key``'s next sample interval has been reached.
+
+        Advances the key's schedule as a side effect, so each sampling
+        site pays one dict lookup per quantum and records at most one
+        point per ``interval`` cycles.
+        """
+        nxt = self._next_due.get(key, 0)
+        if now < nxt:
+            return False
+        self._next_due[key] = now + self.interval
+        return True
+
+    def sample(self, name: str, now: int, value: float) -> None:
+        """Append one ``(now, value)`` point to the series ``name``."""
+        series = self._series.get(name)
+        if series is None:
+            series = ([], [])
+            self._series[name] = series
+        series[0].append(now)
+        series[1].append(value)
+
+    def series(self, name: str) -> Tuple[List[int], List[float]]:
+        """The ``(times, values)`` arrays of one series."""
+        if name not in self._series:
+            raise ConfigurationError(f"no series named {name!r}")
+        return self._series[name]
+
+    def series_names(self) -> List[str]:
+        """All series names, sorted."""
+        return sorted(self._series)
+
+    # -- export ----------------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        """A JSON-serializable snapshot of everything recorded."""
+        return {
+            "interval": self.interval,
+            "counters": dict(sorted(self.counters.items())),
+            "gauges": dict(sorted(self.gauges.items())),
+            "series": {
+                name: {"t": list(ts), "v": list(vs)}
+                for name, (ts, vs) in sorted(self._series.items())
+            },
+        }
+
+    def write_json(self, path: str) -> None:
+        """Write the snapshot as deterministic JSON."""
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps(self.to_dict(), sort_keys=True, indent=1) + "\n")
+
+    def __repr__(self) -> str:
+        return (
+            f"MetricsRegistry(interval={self.interval}, "
+            f"counters={len(self.counters)}, series={len(self._series)})"
+        )

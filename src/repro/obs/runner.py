@@ -1,0 +1,56 @@
+"""Execute one harness cell with live observability attached.
+
+``traced_run`` mirrors :func:`repro.experiments.harness.execute_cell`
+but builds the machine with a :class:`~repro.obs.trace.TraceRecorder`
+(and optionally a :class:`~repro.obs.metrics.MetricsRegistry`), reusing
+the harness's profile summaries so the cell is configured exactly like
+an untraced run — tracing never perturbs simulation results, only
+records them (asserted by ``tests/test_obs_machine.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.cache.policies import make_factory
+from repro.experiments.harness import Harness, sc_factory_kwargs
+from repro.nvram.machine import Machine
+from repro.nvram.stats import RunResult
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import TraceRecorder
+
+
+def traced_run(
+    harness: Harness,
+    name: str,
+    technique: str,
+    threads: int = 1,
+    metrics_interval: Optional[int] = None,
+) -> Tuple[RunResult, TraceRecorder, Optional[MetricsRegistry]]:
+    """Run one ``(workload, technique, threads)`` cell with tracing on.
+
+    Returns ``(result, recorder, metrics)``; ``metrics`` is ``None``
+    unless ``metrics_interval`` (model cycles between samples) is given.
+    The run itself is bit-identical to ``harness.run(...)`` for the same
+    cell — the recorder only observes.
+    """
+    config = harness.config
+    workload = harness.workload(name)
+    summary = (
+        harness.profile_summary(name)
+        if technique in ("SC", "SC-offline")
+        else None
+    )
+    factory_kwargs = sc_factory_kwargs(config, workload, technique, threads, summary)
+    recorder = TraceRecorder()
+    metrics = (
+        MetricsRegistry(metrics_interval) if metrics_interval is not None else None
+    )
+    machine = Machine(config.machine_config(), recorder=recorder, metrics=metrics)
+    result = machine.run(
+        workload,
+        make_factory(technique, **factory_kwargs),
+        num_threads=threads,
+        seed=config.seed,
+    )
+    return result, recorder, metrics

@@ -1,0 +1,265 @@
+"""Structured tracing of simulator runs (the `repro.obs` trace layer).
+
+The simulator's end-of-run aggregates (:class:`~repro.nvram.stats.RunResult`)
+say *how much* happened; the trace recorder says *when*.  Every event
+carries a **model-time timestamp** (the issuing thread's cycle clock), a
+thread id and up to two integer arguments, appended to parallel arrays —
+no per-event object allocation, no dictionaries on the hot path.
+
+Event taxonomy (see DESIGN.md §9):
+
+==============  ========================================================
+``fase_begin``  an outermost FASE opened (``a`` = fase uid)
+``fase_end``    it committed — recorded *after* the technique's
+                end-of-FASE drain, so B/E spans include the drain stall
+``evict_flush`` the software cache evicted a line (``a`` = line,
+                ``b`` = 1 if the hardware line was dirty)
+``drain``       a synchronous flush-queue drain (``a`` = stall cycles,
+                ``b`` = entries outstanding before the drain)
+``burst_start`` an adaptive sampling burst opened (``a`` = burst length)
+``mrc_computed``a burst closed and its MRC was analyzed (``a`` =
+                analysis cost in cycles, ``b`` = number of knee
+                candidates)
+``knee_candidate``
+                one candidate knee of that MRC (``a`` = size, ``b`` =
+                miss ratio in parts-per-million)
+``size_selected``
+                the controller resized the software cache (``a`` = new
+                size) — matches ``RunResult.selected_sizes`` exactly
+``stall``       the CPU blocked on the flush engine outside a drain
+                (``a`` = stall cycles, ``b`` = 0 for a flush issue,
+                1 for a hardware eviction write-back)
+==============  ========================================================
+
+Exports: JSON-lines (one event per line, sorted keys — byte-identical
+across repeated runs of the same configuration) and the Chrome
+``trace_event`` format, loadable in Perfetto / ``chrome://tracing`` with
+one track per simulated thread (model cycles are mapped to microseconds).
+
+When tracing is off the machine holds the module-level
+:data:`NULL_RECORDER`, whose ``enabled`` flag gates every recording site
+— the batched fast path stays allocation-free (enforced by
+``benchmarks/test_obs_overhead.py`` and ``tools/bench_compare.py``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterator, List, NamedTuple, Optional, Tuple
+
+#: Event kinds (string constants; used as ``name`` in Chrome traces).
+EV_FASE_BEGIN = "fase_begin"
+EV_FASE_END = "fase_end"
+EV_EVICT_FLUSH = "evict_flush"
+EV_DRAIN = "drain"
+EV_BURST_START = "burst_start"
+EV_MRC_COMPUTED = "mrc_computed"
+EV_KNEE_CANDIDATE = "knee_candidate"
+EV_SIZE_SELECTED = "size_selected"
+EV_STALL = "stall"
+
+EVENT_KINDS = (
+    EV_FASE_BEGIN,
+    EV_FASE_END,
+    EV_EVICT_FLUSH,
+    EV_DRAIN,
+    EV_BURST_START,
+    EV_MRC_COMPUTED,
+    EV_KNEE_CANDIDATE,
+    EV_SIZE_SELECTED,
+    EV_STALL,
+)
+
+#: Decoded names of the ``a``/``b`` payload per kind (``None`` = unused).
+ARG_NAMES: Dict[str, Tuple[Optional[str], Optional[str]]] = {
+    EV_FASE_BEGIN: ("fase_id", None),
+    EV_FASE_END: ("fase_id", None),
+    EV_EVICT_FLUSH: ("line", "dirty"),
+    EV_DRAIN: ("stall_cycles", "outstanding"),
+    EV_BURST_START: ("burst_length", None),
+    EV_MRC_COMPUTED: ("analysis_cost", "num_candidates"),
+    EV_KNEE_CANDIDATE: ("size", "miss_ratio_ppm"),
+    EV_SIZE_SELECTED: ("size", None),
+    EV_STALL: ("stall_cycles", "source"),
+}
+
+
+class TraceEvent(NamedTuple):
+    """One decoded trace event (the recorder stores parallel arrays)."""
+
+    kind: str
+    thread_id: int
+    time: int
+    a: int
+    b: int
+
+
+class TraceRecorder:
+    """Buffers typed events in parallel arrays; exports JSONL / Chrome.
+
+    ``record`` is the only hot call: five list appends.  All decoding,
+    aggregation and serialization happens at export time.
+    """
+
+    __slots__ = ("_kinds", "_tids", "_times", "_a", "_b")
+
+    #: Class-level so the machine's ``recorder.enabled`` gate costs one
+    #: attribute load whether the recorder is real or the null one.
+    enabled = True
+
+    def __init__(self) -> None:
+        self._kinds: List[str] = []
+        self._tids: List[int] = []
+        self._times: List[int] = []
+        self._a: List[int] = []
+        self._b: List[int] = []
+
+    # -- recording -------------------------------------------------------
+
+    def record(self, kind: str, thread_id: int, time: int, a: int = 0, b: int = 0) -> None:
+        """Append one event (model-time ``time`` on thread ``thread_id``)."""
+        self._kinds.append(kind)
+        self._tids.append(thread_id)
+        self._times.append(time)
+        self._a.append(a)
+        self._b.append(b)
+
+    def clear(self) -> None:
+        """Drop every buffered event."""
+        self._kinds.clear()
+        self._tids.clear()
+        self._times.clear()
+        self._a.clear()
+        self._b.clear()
+
+    # -- reading ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._kinds)
+
+    def events(self) -> Iterator[TraceEvent]:
+        """Iterate events in recording order."""
+        for i in range(len(self._kinds)):
+            yield TraceEvent(
+                self._kinds[i], self._tids[i], self._times[i], self._a[i], self._b[i]
+            )
+
+    def events_of(self, kind: str) -> List[TraceEvent]:
+        """All events of one kind, in recording order."""
+        return [e for e in self.events() if e.kind == kind]
+
+    def counts(self) -> Dict[str, int]:
+        """Event count per kind (only kinds that occurred)."""
+        out: Dict[str, int] = {}
+        for k in self._kinds:
+            out[k] = out.get(k, 0) + 1
+        return dict(sorted(out.items()))
+
+    # -- export ----------------------------------------------------------
+
+    def _event_args(self, e: TraceEvent) -> Dict[str, int]:
+        names = ARG_NAMES.get(e.kind, ("a", "b"))
+        args: Dict[str, int] = {}
+        if names[0] is not None:
+            args[names[0]] = e.a
+        if names[1] is not None:
+            args[names[1]] = e.b
+        return args
+
+    def to_jsonl(self) -> str:
+        """One JSON object per line, sorted keys — deterministic bytes."""
+        lines = []
+        for e in self.events():
+            doc = {"kind": e.kind, "tid": e.thread_id, "ts": e.time}
+            doc.update(self._event_args(e))
+            lines.append(json.dumps(doc, sort_keys=True, separators=(",", ":")))
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def to_chrome(self) -> Dict:
+        """The Chrome ``trace_event`` document (open in Perfetto).
+
+        Model cycles map to trace microseconds; outermost FASEs become
+        duration (B/E) spans named ``FASE``, everything else an instant
+        event on the issuing thread's track.
+        """
+        events: List[Dict] = []
+        for tid in sorted(set(self._tids)):
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": 0,
+                    "tid": tid,
+                    "args": {"name": f"sim thread {tid}"},
+                }
+            )
+        for e in self.events():
+            if e.kind == EV_FASE_BEGIN or e.kind == EV_FASE_END:
+                events.append(
+                    {
+                        "ph": "B" if e.kind == EV_FASE_BEGIN else "E",
+                        "name": "FASE",
+                        "cat": "fase",
+                        "pid": 0,
+                        "tid": e.thread_id,
+                        "ts": e.time,
+                        "args": {"fase_id": e.a},
+                    }
+                )
+            else:
+                events.append(
+                    {
+                        "ph": "i",
+                        "s": "t",
+                        "name": e.kind,
+                        "cat": "obs",
+                        "pid": 0,
+                        "tid": e.thread_id,
+                        "ts": e.time,
+                        "args": self._event_args(e),
+                    }
+                )
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": {"time_unit": "model cycles rendered as microseconds"},
+        }
+
+    def write_jsonl(self, path: str) -> None:
+        """Write the JSONL export to ``path``."""
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_jsonl())
+
+    def write_chrome(self, path: str) -> None:
+        """Write the Chrome trace_event export to ``path``."""
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps(self.to_chrome(), sort_keys=True, indent=1) + "\n")
+
+    def __repr__(self) -> str:
+        return f"TraceRecorder(events={len(self)}, kinds={list(self.counts())})"
+
+
+class NullRecorder:
+    """The disabled path: ``enabled`` is False and ``record`` is a no-op.
+
+    The machine checks ``recorder.enabled`` (a class attribute load)
+    before touching any recording site, so a run with the null recorder
+    does the same work as one with no observability layer at all.
+    """
+
+    __slots__ = ()
+
+    enabled = False
+
+    def record(self, kind: str, thread_id: int, time: int, a: int = 0, b: int = 0) -> None:
+        """Deliberately empty."""
+
+    def __len__(self) -> int:
+        return 0
+
+    def __repr__(self) -> str:
+        return "NullRecorder()"
+
+
+#: The module-level shared null recorder every untraced machine holds.
+NULL_RECORDER = NullRecorder()

@@ -1,0 +1,126 @@
+"""The BENCH trajectory diff tool and its regression gate."""
+
+import json
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.experiments.bench_compare import (
+    EXIT_INCOMPARABLE,
+    EXIT_OK,
+    EXIT_REGRESSION,
+    compare,
+    format_report,
+    load_bench,
+    main,
+    schema_version,
+)
+
+
+def bench_doc(cases, schema=1, quick=False, **extra):
+    """A minimal BENCH document; ``cases`` = [(workload, technique,
+    batched_eps, per_event_eps), ...]."""
+    doc = {
+        "schema_version": schema,
+        "quick": quick,
+        "simulator": [
+            {
+                "workload": w,
+                "technique": t,
+                "batched_eps": b,
+                "per_event_eps": p,
+            }
+            for (w, t, b, p) in cases
+        ],
+    }
+    doc.update(extra)
+    return doc
+
+
+BASE = bench_doc(
+    [("water-spatial", "SC", 1000.0, 400.0), ("mdb", "BEST", 2000.0, 900.0)]
+)
+
+
+def test_equal_documents_pass():
+    verdict = compare(BASE, BASE, max_regress=3.0)
+    assert verdict["ok"]
+    assert verdict["batched_geomean"] == pytest.approx(1.0)
+    assert verdict["regress_pct"] == pytest.approx(0.0)
+    assert "PASS" in format_report(verdict)
+
+
+def test_regression_beyond_threshold_fails():
+    slower = bench_doc(
+        [("water-spatial", "SC", 900.0, 400.0), ("mdb", "BEST", 1800.0, 900.0)]
+    )
+    verdict = compare(BASE, slower, max_regress=3.0)
+    assert not verdict["ok"]
+    assert verdict["regress_pct"] == pytest.approx(10.0)
+    assert "FAIL" in format_report(verdict)
+    # The same diff passes under a generous threshold.
+    assert compare(BASE, slower, max_regress=15.0)["ok"]
+
+
+def test_schema_mismatch_is_refused():
+    newer = bench_doc([("water-spatial", "SC", 1000.0, 400.0)], schema=2)
+    with pytest.raises(ConfigurationError):
+        compare(BASE, newer)
+
+
+def test_missing_schema_version_defaults_to_1():
+    legacy = {k: v for k, v in BASE.items() if k != "schema_version"}
+    assert schema_version(legacy) == 1
+    assert compare(legacy, BASE)["ok"]
+
+
+def test_no_common_cases_is_refused():
+    other = bench_doc([("barnes", "ER", 10.0, 5.0)])
+    with pytest.raises(ConfigurationError):
+        compare(BASE, other)
+
+
+def test_notes_flag_quick_mismatch_and_case_drift():
+    new = bench_doc(
+        [("water-spatial", "SC", 1000.0, 400.0), ("barnes", "ER", 10.0, 5.0)],
+        quick=True,
+    )
+    verdict = compare(BASE, new)
+    notes = " ".join(verdict["notes"])
+    assert "quick flags differ" in notes
+    assert "only in base" in notes
+    assert "only in new" in notes
+
+
+def test_reuse_counts_ride_along():
+    base = dict(BASE, reuse_counts={"intervals_per_sec": 100.0})
+    new = dict(BASE, reuse_counts={"intervals_per_sec": 150.0})
+    verdict = compare(base, new)
+    assert verdict["reuse_ratio"] == pytest.approx(1.5)
+    assert "reuse_counts" in format_report(verdict)
+
+
+def test_load_bench_rejects_non_bench_documents(tmp_path):
+    path = tmp_path / "x.json"
+    path.write_text(json.dumps({"hello": 1}))
+    with pytest.raises(ConfigurationError):
+        load_bench(str(path))
+
+
+def test_cli_end_to_end(tmp_path, capsys):
+    base = tmp_path / "base.json"
+    new = tmp_path / "new.json"
+    base.write_text(json.dumps(BASE))
+    new.write_text(json.dumps(BASE))
+    assert main([str(base), str(new)]) == EXIT_OK
+    assert "PASS" in capsys.readouterr().out
+
+    slower = bench_doc(
+        [("water-spatial", "SC", 500.0, 400.0), ("mdb", "BEST", 1000.0, 900.0)]
+    )
+    new.write_text(json.dumps(slower))
+    assert main([str(base), str(new), "--max-regress", "3"]) == EXIT_REGRESSION
+
+    new.write_text(json.dumps(bench_doc([("mdb", "BEST", 1.0, 1.0)], schema=9)))
+    assert main([str(base), str(new)]) == EXIT_INCOMPARABLE
+    assert main([str(base), str(tmp_path / "missing.json")]) == EXIT_INCOMPARABLE

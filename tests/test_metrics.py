@@ -32,6 +32,15 @@ def test_means():
         geometric_mean([1, 0])
 
 
+def test_geometric_mean_rejects_empty_and_negative():
+    with pytest.raises(ConfigurationError):
+        geometric_mean([])
+    with pytest.raises(ConfigurationError):
+        geometric_mean([-1.0, 2.0])
+    # Generators are consumed exactly once, not re-iterated.
+    assert geometric_mean(x for x in (2.0, 8.0)) == pytest.approx(4.0)
+
+
 def test_format_table_alignment():
     text = format_table(["name", "v"], [["a", 1], ["long-name", 22]])
     lines = text.splitlines()
@@ -40,6 +49,16 @@ def test_format_table_alignment():
     assert set(lines[1]) <= {"-", " "}
     # All rows align to the same width grid.
     assert lines[2].index("1") == lines[3].index("2")
+
+
+def test_format_table_widths_follow_the_longest_cell():
+    text = format_table(["h", "wide-header"], [["cell-longer-than-header", 1]])
+    lines = text.splitlines()
+    # The separator matches the widest cell of each column exactly.
+    widths = [len(seg) for seg in lines[1].split("  ")]
+    assert widths == [len("cell-longer-than-header"), len("wide-header")]
+    # No trailing whitespace anywhere (byte-stable artifacts).
+    assert all(line == line.rstrip() for line in lines)
 
 
 def test_ascii_series():

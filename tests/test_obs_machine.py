@@ -1,0 +1,113 @@
+"""Tracing wired through the machine: equivalence, determinism, metrics.
+
+The observability layer must *observe*, never perturb: a traced run's
+statistics are bit-identical to the untraced run of the same cell, the
+per-event and batched execution paths emit the same events, and repeated
+traced runs of one configuration export byte-identical documents.
+"""
+
+import json
+
+from repro.cache.policies import make_factory
+from repro.nvram.machine import Machine, MachineConfig
+from repro.obs.runner import traced_run
+from repro.obs.trace import (
+    EV_FASE_BEGIN,
+    EV_FASE_END,
+    EV_SIZE_SELECTED,
+    NULL_RECORDER,
+    TraceRecorder,
+)
+from repro.workloads.registry import get_workload
+
+CELL = ("queue", "SC", 2)
+
+
+def test_untraced_machine_holds_the_null_recorder():
+    machine = Machine(MachineConfig())
+    assert machine.recorder is NULL_RECORDER
+    assert machine.metrics is None
+
+
+def test_size_selected_events_match_run_result(tiny_harness):
+    result, recorder, _ = traced_run(
+        tiny_harness, CELL[0], CELL[1], threads=CELL[2]
+    )
+    got = {}
+    for e in recorder.events_of(EV_SIZE_SELECTED):
+        got.setdefault(e.thread_id, []).append(e.a)
+    want = {t: s for t, s in result.selected_sizes.items() if s}
+    assert got == want
+    assert got   # the SC run did adapt
+
+
+def test_tracing_does_not_perturb_the_run(tiny_harness):
+    traced, recorder, _ = traced_run(
+        tiny_harness, CELL[0], CELL[1], threads=CELL[2]
+    )
+    plain = tiny_harness.run(*CELL)
+    assert traced.to_dict() == plain.to_dict()
+    assert len(recorder) > 0
+
+
+def test_fase_spans_are_balanced(tiny_harness):
+    result, recorder, _ = traced_run(tiny_harness, "queue", "LA")
+    begins = recorder.events_of(EV_FASE_BEGIN)
+    ends = recorder.events_of(EV_FASE_END)
+    assert len(begins) == len(ends) == result.fase_count
+    # Same uids, and every end is at or after its begin.
+    starts = {e.a: e.time for e in begins}
+    for e in ends:
+        assert e.time >= starts[e.a]
+
+
+def test_trace_exports_are_deterministic(tiny_harness):
+    runs = [
+        traced_run(tiny_harness, "queue", "SC", threads=2, metrics_interval=5000)
+        for _ in range(2)
+    ]
+    (_, rec1, met1), (_, rec2, met2) = runs
+    assert rec1.to_jsonl() == rec2.to_jsonl()
+    assert json.dumps(rec1.to_chrome(), sort_keys=True) == json.dumps(
+        rec2.to_chrome(), sort_keys=True
+    )
+    assert met1.to_dict() == met2.to_dict()
+
+
+def test_per_event_and_batched_traces_are_identical():
+    def run(technique, use_batches):
+        recorder = TraceRecorder()
+        machine = Machine(MachineConfig(), recorder=recorder)
+        machine.run(
+            get_workload("water-spatial", scale=0.05),
+            make_factory(technique),
+            num_threads=2,
+            seed=7,
+            use_batches=use_batches,
+        )
+        per_thread = {}
+        for e in recorder.events():
+            per_thread.setdefault(e.thread_id, []).append(e)
+        return per_thread
+
+    for technique in ("BEST", "SC"):
+        assert run(technique, False) == run(technique, True), technique
+
+
+def test_metrics_sampling_through_a_run(tiny_harness):
+    result, _, metrics = traced_run(
+        tiny_harness, "queue", "SC", threads=2, metrics_interval=2000
+    )
+    names = metrics.series_names()
+    for tid in range(2):
+        assert f"flush_queue_depth/t{tid}" in names
+        assert f"cache_occupancy/t{tid}" in names
+        assert f"flush_ratio/t{tid}" in names
+        ts, vs = metrics.series(f"cache_occupancy/t{tid}")
+        assert ts == sorted(ts)
+        assert all(v >= 0 for v in vs)
+        # End-of-run totals land as counters/gauges.
+        stats = result.threads[tid]
+        assert metrics.counters[f"flushes/t{tid}"] == stats.flushes
+        assert metrics.counters[f"fase_count/t{tid}"] == stats.fase_count
+        assert metrics.gauges[f"cycles/t{tid}"] == stats.cycles

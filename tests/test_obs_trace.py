@@ -1,0 +1,151 @@
+"""The repro.obs trace recorder and metrics registry in isolation."""
+
+import json
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import (
+    ARG_NAMES,
+    EV_DRAIN,
+    EV_EVICT_FLUSH,
+    EV_FASE_BEGIN,
+    EV_FASE_END,
+    EV_SIZE_SELECTED,
+    EVENT_KINDS,
+    NULL_RECORDER,
+    NullRecorder,
+    TraceEvent,
+    TraceRecorder,
+)
+
+
+def test_record_and_read_back():
+    rec = TraceRecorder()
+    rec.record(EV_FASE_BEGIN, 0, 10, 1)
+    rec.record(EV_EVICT_FLUSH, 1, 20, 42, 1)
+    rec.record(EV_FASE_END, 0, 30, 1)
+    assert len(rec) == 3
+    events = list(rec.events())
+    assert events[0] == TraceEvent(EV_FASE_BEGIN, 0, 10, 1, 0)
+    assert events[1] == TraceEvent(EV_EVICT_FLUSH, 1, 20, 42, 1)
+    assert rec.events_of(EV_FASE_END) == [TraceEvent(EV_FASE_END, 0, 30, 1, 0)]
+    assert rec.counts() == {EV_EVICT_FLUSH: 1, EV_FASE_BEGIN: 1, EV_FASE_END: 1}
+    rec.clear()
+    assert len(rec) == 0
+    assert rec.counts() == {}
+    assert rec.to_jsonl() == ""
+
+
+def test_every_kind_has_arg_names():
+    assert set(ARG_NAMES) == set(EVENT_KINDS)
+
+
+def test_jsonl_uses_decoded_arg_names_and_sorted_keys():
+    rec = TraceRecorder()
+    rec.record(EV_DRAIN, 2, 100, 7, 3)
+    line = rec.to_jsonl()
+    assert line.endswith("\n")
+    doc = json.loads(line)
+    assert doc == {
+        "kind": "drain",
+        "tid": 2,
+        "ts": 100,
+        "stall_cycles": 7,
+        "outstanding": 3,
+    }
+    # Dumped with sort_keys, so the textual key order is sorted.
+    assert list(doc) == sorted(doc)
+
+
+def test_chrome_export_structure():
+    rec = TraceRecorder()
+    rec.record(EV_FASE_BEGIN, 0, 10, 1)
+    rec.record(EV_SIZE_SELECTED, 0, 15, 8)
+    rec.record(EV_FASE_BEGIN, 1, 12, 2)
+    rec.record(EV_FASE_END, 1, 30, 2)
+    rec.record(EV_FASE_END, 0, 40, 1)
+    doc = rec.to_chrome()
+    events = doc["traceEvents"]
+    # One thread_name metadata record per track, first.
+    meta = [e for e in events if e["ph"] == "M"]
+    assert [m["tid"] for m in meta] == [0, 1]
+    # Every fase_begin/fase_end becomes a balanced B/E span per thread.
+    for tid in (0, 1):
+        phases = [e["ph"] for e in events if e["ph"] in "BE" and e["tid"] == tid]
+        assert phases == ["B", "E"]
+    instants = [e for e in events if e["ph"] == "i"]
+    assert len(instants) == 1
+    assert instants[0]["name"] == EV_SIZE_SELECTED
+    assert instants[0]["args"] == {"size": 8}
+    # The document is plain-JSON serializable.
+    json.dumps(doc)
+
+
+def test_write_exports(tmp_path):
+    rec = TraceRecorder()
+    rec.record(EV_FASE_BEGIN, 0, 1, 1)
+    jsonl = tmp_path / "t.jsonl"
+    chrome = tmp_path / "t.json"
+    rec.write_jsonl(str(jsonl))
+    rec.write_chrome(str(chrome))
+    assert jsonl.read_text() == rec.to_jsonl()
+    assert json.loads(chrome.read_text()) == rec.to_chrome()
+
+
+def test_null_recorder_is_inert():
+    assert NULL_RECORDER.enabled is False
+    assert TraceRecorder.enabled is True
+    assert isinstance(NULL_RECORDER, NullRecorder)
+    assert len(NULL_RECORDER) == 0
+    NULL_RECORDER.record(EV_FASE_BEGIN, 0, 0, 1)
+    assert len(NULL_RECORDER) == 0
+
+
+# ---------------------------------------------------------------------------
+# MetricsRegistry
+# ---------------------------------------------------------------------------
+
+
+def test_metrics_counters_and_gauges():
+    m = MetricsRegistry(interval=100)
+    m.inc("flushes")
+    m.inc("flushes", 4)
+    m.set_gauge("cycles/t0", 123.0)
+    assert m.counters["flushes"] == 5
+    assert m.gauges["cycles/t0"] == 123.0
+
+
+def test_metrics_due_schedule_is_per_key():
+    m = MetricsRegistry(interval=100)
+    assert m.due("t0", 0) is True
+    assert m.due("t0", 50) is False
+    assert m.due("t0", 100) is True
+    assert m.due("t0", 350) is True    # schedule advances from observed time
+    assert m.due("t1", 40) is True     # keys are independent
+
+
+def test_metrics_series_and_errors():
+    m = MetricsRegistry(interval=10)
+    m.sample("depth/t0", 0, 1.0)
+    m.sample("depth/t0", 10, 2.5)
+    ts, vs = m.series("depth/t0")
+    assert ts == [0, 10]
+    assert vs == [1.0, 2.5]
+    assert m.series_names() == ["depth/t0"]
+    with pytest.raises(ConfigurationError):
+        m.series("nope")
+    with pytest.raises(ConfigurationError):
+        MetricsRegistry(interval=0)
+
+
+def test_metrics_json_round_trips(tmp_path):
+    m = MetricsRegistry(interval=10)
+    m.inc("c")
+    m.set_gauge("g", 2.0)
+    m.sample("s", 0, 1.0)
+    path = tmp_path / "m.json"
+    m.write_json(str(path))
+    assert json.loads(path.read_text()) == m.to_dict()
+    assert m.to_dict()["interval"] == 10

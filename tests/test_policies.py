@@ -23,6 +23,7 @@ class FakePort:
         self.sync_calls = []      # (lines tuple, category)
         self.adaptation = 0
         self.sizes = []
+        self.events = []          # (kind, a, b) structured trace events
         self.current_fase_id = 0
         self.thread_id = 0
 
@@ -40,6 +41,9 @@ class FakePort:
 
     def record_selected_size(self, size):
         self.sizes.append(size)
+
+    def record_event(self, kind, a=0, b=0):
+        self.events.append((kind, a, b))
 
 
 def bind(technique):

@@ -9,7 +9,7 @@ from repro.experiments.__main__ import main
 
 def test_generators_cover_every_artifact():
     assert set(GENERATORS) == {
-        "table1", "table2", "table3", "table4",
+        "table1", "table2", "table3", "table4", "adaptation",
         "figure2", "figure4", "figure5", "figure6", "figure7", "figure8",
     }
 

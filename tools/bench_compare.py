@@ -1,0 +1,22 @@
+#!/usr/bin/env python
+"""Diff two BENCH_*.json files (wrapper for repro.experiments.bench_compare).
+
+Usable without installing the package::
+
+    python tools/bench_compare.py BENCH_2026-08-06.json BENCH_new.json
+    python tools/bench_compare.py base.json new.json --max-regress 3
+
+Exit codes: 0 ok, 1 regression beyond threshold, 2 incomparable files.
+"""
+
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+from repro.experiments.bench_compare import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())
