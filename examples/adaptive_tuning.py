@@ -18,6 +18,9 @@ from repro.workloads.generators import TilePatternConfig, TilePatternWorkload
 
 
 def run(workload, technique, **kwargs):
+    # These workloads are ad-hoc objects with hand-picked technique
+    # knobs, so they use the low-level Machine API directly; registry
+    # workloads go through repro.api.run (see examples/quickstart.py).
     machine = Machine(MachineConfig())
     return machine.run(
         workload, make_factory(technique, **kwargs), num_threads=1, seed=0

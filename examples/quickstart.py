@@ -1,33 +1,31 @@
 """Quickstart: write caching for NVRAM persistence in five minutes.
 
-Runs one workload under the paper's six persistence techniques on the
-simulated NVRAM machine and prints the two quantities everything else
-derives from: the data flush ratio and the model execution time.
+Runs one workload under the paper's six persistence techniques through
+the typed :mod:`repro.api` facade and prints the two quantities
+everything else derives from: the data flush ratio and the model
+execution time.  A final step crash-tests the same configuration with
+the fault-injection campaign and its recovery oracle.
 
 Usage::
 
     python examples/quickstart.py
 """
 
-from repro.cache.adaptive import AdaptiveConfig
-from repro.cache.policies import TECHNIQUES, make_factory
+from repro import api
+from repro.cache.policies import TECHNIQUES
 from repro.locality.knee import find_knees, select_cache_size
 from repro.locality.mrc import mrc_from_trace
-from repro.nvram.machine import Machine, MachineConfig
-from repro.workloads.splash2 import make_splash2
 
 
 def main() -> None:
-    # A scaled-down stand-in for SPLASH2 water-spatial: repeated sweeps
-    # over 23-line tiles, the benchmark of the paper's Fig. 2.
-    workload = make_splash2("water-spatial", store_budget=60_000)
+    # One spec describes the whole configuration: workload, technique,
+    # machine knobs.  Everything below reuses it.
+    spec = api.RunSpec(workload="water-spatial", technique="SC", scale=0.25)
+    harness = api.harness_for(spec)
 
     # Step 1 - profile: run once without flushing (BEST) and record the
     # persistent-write trace.
-    machine = Machine(MachineConfig())
-    profile = machine.run(
-        workload, make_factory("BEST"), num_threads=1, seed=0, record_traces=True
-    )
+    profile = harness.profile(spec.workload)
     trace = profile.traces[0]
     print(f"trace: {trace.n} persistent writes, {trace.m} distinct lines\n")
 
@@ -38,23 +36,16 @@ def main() -> None:
     print(f"candidate knees : {[k.size for k in find_knees(mrc)]}")
     print(f"selected size   : {size} (the paper picks 23 for this program)\n")
 
-    # Step 3 - compare the six techniques of the evaluation.
+    # Step 3 - compare the six techniques of the evaluation.  api.run
+    # resolves each spec through the shared harness, so SC's sampler and
+    # SC-offline's fixed size are configured exactly as the paper's
+    # experiments do.
     print(f"{'technique':12s} {'flush ratio':>12s} {'time (Mcycles)':>15s}")
     baseline = None
     for name in TECHNIQUES:
-        kwargs = {}
-        if name == "SC-offline":
-            kwargs["sc_fixed_size"] = size
-        elif name == "SC":
-            # The online sampler's burst should be a fraction of the
-            # run (the paper's 64M-write burst against its full-scale
-            # programs); size it to ~15% of this trace.
-            kwargs["adaptive_config"] = AdaptiveConfig(
-                burst_length=max(2048, trace.n // 7)
-            )
-        machine = Machine(MachineConfig())
-        result = machine.run(
-            workload, make_factory(name, **kwargs), num_threads=1, seed=0
+        result = api.run(
+            api.RunSpec(workload=spec.workload, technique=name, scale=spec.scale),
+            harness=harness,
         )
         if name == "ER":
             baseline = result.time
@@ -67,6 +58,16 @@ def main() -> None:
         "\nThe software cache (SC) should sit near the lazy bound (LA) in"
         "\nflushes while approaching BEST in time - the paper's headline."
     )
+
+    # Step 4 - crash the configuration at every injectable point (up to
+    # the sampling cap) and let the recovery oracle verify FASE
+    # atomicity held.
+    matrix = api.campaign(
+        api.RunSpec(workload="linked-list", technique="SC", scale=0.05),
+        api.FaultSpec(max_sites=64),
+    )
+    print()
+    print(matrix.to_markdown())
 
 
 if __name__ == "__main__":

@@ -19,18 +19,44 @@ Orientation (details in each subpackage's docstring):
 - :mod:`repro.pstructs` — durable containers built on the runtime.
 - :mod:`repro.experiments` — every table and figure, regenerable
   (``python -m repro.experiments all``).
+- :mod:`repro.faults` — crash-point fault-injection campaigns with a
+  recovery oracle (``python -m repro.experiments crashmatrix``).
+- :mod:`repro.api` — the typed facade: ``RunSpec`` in, ``RunResult``
+  or ``CrashMatrix`` out.
+
+The facade is re-exported here lazily, so ``from repro import RunSpec,
+run, campaign`` works without paying for the experiment stack on a bare
+``import repro``.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "FaultSpec",
+    "RunSpec",
+    "api",
     "atlas",
     "cache",
+    "campaign",
     "common",
     "experiments",
+    "faults",
     "locality",
     "mdb",
     "nvram",
     "pstructs",
+    "run",
+    "traced_run",
     "workloads",
 ]
+
+#: Facade names resolved lazily from :mod:`repro.api` (PEP 562).
+_API_NAMES = ("FaultSpec", "RunSpec", "campaign", "run", "traced_run")
+
+
+def __getattr__(name):
+    if name in _API_NAMES:
+        from repro import api
+
+        return getattr(api, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

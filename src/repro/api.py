@@ -1,0 +1,188 @@
+"""The typed public facade: one frozen spec in, one result out.
+
+Everything the repo can do to one ``(workload, technique, threads)``
+configuration — plain runs, traced runs, fault-injection campaigns — is
+reachable from a single :class:`RunSpec`, so downstream code stops
+hand-wiring ``Machine`` + ``make_factory`` + ``AdaptiveController``::
+
+    from repro import api
+
+    spec = api.RunSpec(workload="linked-list", technique="SC", threads=2)
+    result = api.run(spec)                  # -> RunResult
+    matrix = api.campaign(spec, api.FaultSpec(max_sites=256))
+
+``run`` delegates to the experiments harness, so a spec-driven run is
+bit-identical to the legacy hand-wired path (enforced by an equivalence
+test) and participates in the same profiling, memoization and on-disk
+result cache.  ``campaign`` drives :func:`repro.faults.run_campaign`
+with the spec's machine knobs, so runs and their crash campaigns always
+agree on configuration.
+
+The facade is re-exported lazily from the top-level package
+(``from repro import RunSpec, run``) without importing the experiment
+stack at ``import repro`` time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.experiments.harness import Harness, HarnessConfig
+from repro.faults.campaign import CrashMatrix, FaultCampaignSpec, run_campaign
+from repro.locality.knee import SelectionPolicy
+from repro.nvram.machine import MachineConfig
+from repro.nvram.stats import RunResult
+from repro.nvram.timing import DEFAULT_TIMING, TimingModel
+from repro.workloads.registry import WORKLOAD_NAMES
+
+#: The campaign spec, under the name the facade's users see.
+FaultSpec = FaultCampaignSpec
+
+__all__ = [
+    "FaultSpec",
+    "RunSpec",
+    "campaign",
+    "harness_for",
+    "run",
+    "traced_run",
+]
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One fully-specified simulation: workload, technique, machine knobs.
+
+    Frozen and hashable, so specs work as cache keys and ship cleanly to
+    worker processes.  Every field has the repo-wide default; a bare
+    ``RunSpec(workload="mdb")`` reproduces what the CLI would run.
+    """
+
+    workload: str
+    technique: str = "SC"
+    threads: int = 1
+    scale: float = 1.0
+    seed: int = 0
+    timing: TimingModel = DEFAULT_TIMING
+    l1_capacity_lines: int = 512
+    l1_ways: int = 8
+    selection: SelectionPolicy = SelectionPolicy()
+
+    def __post_init__(self) -> None:
+        if self.threads < 1:
+            raise ConfigurationError("threads must be >= 1")
+        if self.scale <= 0:
+            raise ConfigurationError("scale must be positive")
+
+    def harness_config(self) -> HarnessConfig:
+        """The harness configuration this spec induces."""
+        return HarnessConfig(
+            scale=self.scale,
+            seed=self.seed,
+            timing=self.timing,
+            l1_capacity_lines=self.l1_capacity_lines,
+            l1_ways=self.l1_ways,
+            selection=self.selection,
+        )
+
+    def machine_config(self) -> MachineConfig:
+        """The machine configuration this spec induces."""
+        return self.harness_config().machine_config()
+
+
+def harness_for(spec: RunSpec, cache_dir: Optional[str] = None) -> Harness:
+    """A harness configured exactly as ``spec`` requires."""
+    return Harness(spec.harness_config(), cache_dir=cache_dir)
+
+
+def _resolve_harness(
+    spec: RunSpec, harness: Optional[Harness], cache_dir: Optional[str]
+) -> Harness:
+    if harness is None:
+        return harness_for(spec, cache_dir=cache_dir)
+    if harness.config != spec.harness_config():
+        raise ConfigurationError(
+            "harness configuration does not match the RunSpec; build one "
+            "with api.harness_for(spec) to share it across runs"
+        )
+    return harness
+
+
+def run(
+    spec: RunSpec,
+    *,
+    harness: Optional[Harness] = None,
+    cache_dir: Optional[str] = None,
+) -> RunResult:
+    """Execute one spec; bit-identical to the hand-wired harness path.
+
+    Pass ``harness`` (from :func:`harness_for`) to share profile
+    summaries and memoized cells across many runs; ``cache_dir``
+    persists results on disk exactly like the CLI flag.
+    """
+    if spec.workload not in WORKLOAD_NAMES:
+        raise ConfigurationError(
+            f"unknown workload {spec.workload!r}; "
+            f"expected one of {WORKLOAD_NAMES}"
+        )
+    harness = _resolve_harness(spec, harness, cache_dir)
+    return harness.run(spec.workload, spec.technique, spec.threads)
+
+
+def traced_run(
+    spec: RunSpec,
+    *,
+    metrics_interval: Optional[int] = None,
+    harness: Optional[Harness] = None,
+    cache_dir: Optional[str] = None,
+) -> Tuple[RunResult, object, object]:
+    """Execute one spec with the observability layer attached.
+
+    Returns ``(result, recorder, metrics)`` as
+    :func:`repro.obs.runner.traced_run` does; the run is bit-identical
+    to :func:`run` for the same spec.
+    """
+    from repro.obs.runner import traced_run as _traced
+
+    harness = _resolve_harness(spec, harness, cache_dir)
+    return _traced(
+        harness,
+        spec.workload,
+        spec.technique,
+        threads=spec.threads,
+        metrics_interval=metrics_interval,
+    )
+
+
+def campaign(
+    spec: RunSpec,
+    faults: Optional[FaultCampaignSpec] = None,
+    *,
+    commit_before_drain: bool = False,
+    cache_dir: Optional[str] = None,
+    recorder: Optional[object] = None,
+    progress=None,
+) -> CrashMatrix:
+    """Run a fault-injection campaign over ``spec``'s configuration.
+
+    ``faults`` defaults to a clean-power-cut sweep
+    (:class:`FaultSpec`); ``commit_before_drain`` is the deliberate
+    ordering violation used as the oracle's negative control.  Returns
+    the :class:`~repro.faults.campaign.CrashMatrix` of verdicts.
+    """
+    return run_campaign(
+        spec.workload,
+        technique=spec.technique,
+        threads=spec.threads,
+        seed=spec.seed,
+        scale=spec.scale,
+        spec=faults,
+        timing=spec.timing,
+        l1_capacity_lines=spec.l1_capacity_lines,
+        l1_ways=spec.l1_ways,
+        commit_before_drain=commit_before_drain,
+        cache_dir=cache_dir,
+        recorder=recorder,
+        progress=progress,
+    )

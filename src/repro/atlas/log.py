@@ -80,14 +80,14 @@ class UndoLog:
         self.appended = 0
         self.commits = 0
 
-    def _append(self, record: LogRecord) -> None:
+    def _append(self, record: LogRecord, category: str = "log") -> None:
         slot = self.region.alloc(LOG_SLOT_BYTES, line_aligned=False)
         # Log stores bypass the data technique (Atlas's table tracks
         # program data, not the log) and are flushed eagerly: the entry
         # must be durable before the guarded store may reach NVRAM.
         self.session.store_unmanaged(slot, LOG_SLOT_BYTES, value=record.as_payload())
         port = self.session._ctx.port
-        port.flush_async(slot >> 6, category="log")
+        port.flush_async(slot >> 6, category=category)
         self.appended += 1
 
     def on_fase_begin(self) -> None:
@@ -102,8 +102,13 @@ class UndoLog:
         self._append(LogRecord(KIND_UNDO, fase_id, addr, old_value))
 
     def commit(self, fase_id: int) -> None:
-        """Seal a FASE: its data is durable, write the commit record."""
-        self._append(LogRecord(KIND_COMMIT, fase_id))
+        """Seal a FASE: its data is durable, write the commit record.
+
+        The commit record flushes under its own category so crash-site
+        enumeration can distinguish it from undo appends; the machine
+        counts both into ``log_flushes``.
+        """
+        self._append(LogRecord(KIND_COMMIT, fase_id), category="commit")
         self.commits += 1
         self._logged.clear()
 

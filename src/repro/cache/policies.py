@@ -299,12 +299,12 @@ def make_factory(
             state = SharedSizeState()
             return lambda tid: SoftwareCacheTechnique(
                 sc_initial_size,
-                AdaptiveController(cfg) if tid == 0 else None,
+                AdaptiveController(config=cfg) if tid == 0 else None,
                 use_clwb=use_clwb,
                 shared_size=state,
             )
         return lambda tid: SoftwareCacheTechnique(
-            sc_initial_size, AdaptiveController(cfg), use_clwb=use_clwb
+            sc_initial_size, AdaptiveController(config=cfg), use_clwb=use_clwb
         )
     if technique == "SC-offline":
         if sc_fixed_size is None:

@@ -14,16 +14,24 @@ a new MRC arrives); shrinking evicts LRU lines, which the caller flushes.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional
 
-from repro.common.errors import ConfigurationError
+from repro.common.errors import ConfigurationError, SimulationError
 from repro.cache.lru import LruCache
 
 
 class WriteCombiningCache:
     """A fully associative, LRU, resizable cache of dirty-line addresses."""
 
-    __slots__ = ("_lru", "capacity", "hits", "misses", "evictions", "drains")
+    __slots__ = (
+        "_lru",
+        "capacity",
+        "hits",
+        "misses",
+        "evictions",
+        "resize_evictions",
+        "drains",
+    )
 
     def __init__(self, capacity: int) -> None:
         if capacity < 1:
@@ -33,6 +41,7 @@ class WriteCombiningCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.resize_evictions = 0
         self.drains = 0
 
     def __len__(self) -> int:
@@ -99,14 +108,62 @@ class WriteCombiningCache:
         while len(self._lru) > capacity:
             evicted.append(self._lru.evict_lru())
         self.evictions += len(evicted)
+        self.resize_evictions += len(evicted)
         self.capacity = capacity
         return evicted
+
+    @property
+    def accesses(self) -> int:
+        """Total persistent writes observed (hits + misses)."""
+        return self.hits + self.misses
 
     @property
     def hit_ratio(self) -> float:
         """Fraction of writes combined so far."""
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    def snapshot(self) -> Dict[str, int]:
+        """An invariant-checked copy of the counters at this instant.
+
+        The checks are the cache's accounting identities: every access
+        is a hit or a miss, and a capacity eviction needs a miss to have
+        inserted the line (resize evictions are the one exception, so
+        they are tracked — and excepted — separately).  A violation
+        means the counters can no longer be trusted and raises
+        :class:`~repro.common.errors.SimulationError`.
+        """
+        snap = {
+            "capacity": self.capacity,
+            "used": len(self),
+            "accesses": self.accesses,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "resize_evictions": self.resize_evictions,
+            "drains": self.drains,
+        }
+        if any(v < 0 for v in snap.values()):
+            raise SimulationError(
+                f"write-cache accounting broken: negative counter in {snap}"
+            )
+        if snap["hits"] + snap["misses"] != snap["accesses"]:
+            raise SimulationError(
+                f"write-cache accounting broken: hits {snap['hits']} + "
+                f"misses {snap['misses']} != accesses {snap['accesses']}"
+            )
+        if snap["evictions"] - snap["resize_evictions"] > snap["misses"]:
+            raise SimulationError(
+                f"write-cache accounting broken: "
+                f"{snap['evictions'] - snap['resize_evictions']} capacity "
+                f"evictions exceed {snap['misses']} misses"
+            )
+        if snap["used"] > snap["capacity"]:
+            raise SimulationError(
+                f"write-cache over capacity: {snap['used']} lines held, "
+                f"capacity {snap['capacity']}"
+            )
+        return snap
 
     def __repr__(self) -> str:
         return (

@@ -21,6 +21,15 @@ lines, anything else the Chrome ``trace_event`` format — load it in
 Perfetto or ``chrome://tracing``; repeatable for both), and
 ``--metrics PATH`` dumps the sampled metrics registry
 (``--metrics-interval`` model cycles between samples).
+
+The ``crashmatrix`` pseudo-artifact runs fault-injection campaigns
+(:mod:`repro.faults`) over every ``workload × technique × fault-model``
+combination requested, prints the markdown verdict matrix, optionally
+writes the JSON matrix with ``--out``, and exits non-zero if any
+injected crash violated FASE atomicity — so CI can gate on it::
+
+    python -m repro.experiments crashmatrix --workloads linked-list \\
+        --fault-models clean,torn_line --max-sites 128 --out matrix.json
 """
 
 from __future__ import annotations
@@ -42,13 +51,17 @@ def _heartbeat(done: int, total: int, cell) -> None:
 
 def _run_traced(harness: Harness, args: argparse.Namespace) -> int:
     """The ``run`` pseudo-artifact: one cell with tracing/metrics on."""
-    from repro.obs.runner import traced_run
+    from repro import api
 
-    result, recorder, metrics = traced_run(
-        harness,
-        args.workload,
-        args.technique,
-        threads=args.threads,
+    result, recorder, metrics = api.traced_run(
+        api.RunSpec(
+            workload=args.workload,
+            technique=args.technique,
+            threads=args.threads,
+            scale=args.scale,
+            seed=args.seed,
+        ),
+        harness=harness,
         metrics_interval=args.metrics_interval if args.metrics else None,
     )
     print(repr(result))
@@ -72,6 +85,75 @@ def _run_traced(harness: Harness, args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_crashmatrix(args: argparse.Namespace) -> int:
+    """The ``crashmatrix`` pseudo-artifact: fault-injection campaigns."""
+    import json
+
+    from repro import api
+
+    workloads = [w for w in args.workloads.split(",") if w]
+    techniques = [t for t in args.techniques.split(",") if t]
+    models = tuple(m for m in args.fault_models.split(",") if m)
+    faults = api.FaultSpec(
+        fault_models=models,
+        max_sites=args.max_sites,
+        sample_seed=args.sample_seed,
+        jobs=args.jobs,
+    )
+    recorder = None
+    if args.trace:
+        from repro.obs.trace import TraceRecorder
+
+        recorder = TraceRecorder()
+
+    matrices = []
+    for workload in workloads:
+        for technique in techniques:
+            spec = api.RunSpec(
+                workload=workload,
+                technique=technique,
+                threads=args.threads,
+                scale=args.scale,
+                seed=args.seed,
+            )
+            matrix = api.campaign(
+                spec,
+                faults,
+                cache_dir=args.cache_dir,
+                recorder=recorder,
+                progress=lambda done, total: print(
+                    f"[{done}/{total}] {workload}/{technique}", file=sys.stderr
+                ),
+            )
+            matrices.append(matrix)
+            print(matrix.to_markdown())
+            print()
+
+    if args.out:
+        payload = [m.to_dict() for m in matrices]
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(payload[0] if len(payload) == 1 else payload, fh, indent=2)
+        print(f"wrote {args.out}", file=sys.stderr)
+    for path in args.trace or []:
+        if recorder is not None:
+            if path.endswith(".jsonl"):
+                recorder.write_jsonl(path)
+            else:
+                recorder.write_chrome(path)
+            print(f"wrote {path}", file=sys.stderr)
+
+    violated = sum(len(m.violations) for m in matrices)
+    total = sum(m.injected for m in matrices)
+    if violated:
+        print(
+            f"FAILED: {violated} violation(s) across {total} injected crashes",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"OK: {total} injected crashes, zero violations", file=sys.stderr)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point (see module docstring); returns an exit code."""
     parser = argparse.ArgumentParser(
@@ -80,8 +162,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "artifact",
-        choices=sorted(GENERATORS) + ["all", "run"],
-        help="which table/figure to regenerate, or 'run' for one traced cell",
+        choices=sorted(GENERATORS) + ["all", "crashmatrix", "run"],
+        help="which table/figure to regenerate, 'run' for one traced "
+        "cell, or 'crashmatrix' for fault-injection campaigns",
     )
     parser.add_argument(
         "--scale",
@@ -147,13 +230,57 @@ def main(argv: Optional[List[str]] = None) -> int:
         metavar="N",
         help="model cycles between metric samples (default 10000)",
     )
+    crash = parser.add_argument_group("'crashmatrix' (fault injection)")
+    crash.add_argument(
+        "--workloads",
+        default="linked-list,hash",
+        metavar="A,B",
+        help="comma-separated workload names (default linked-list,hash)",
+    )
+    crash.add_argument(
+        "--techniques",
+        default="SC",
+        metavar="A,B",
+        help="comma-separated persistence techniques (default SC)",
+    )
+    crash.add_argument(
+        "--fault-models",
+        default="clean",
+        metavar="A,B",
+        help="comma-separated fault models: clean, torn_line, "
+        "reordered_flush (default clean)",
+    )
+    crash.add_argument(
+        "--max-sites",
+        type=int,
+        default=256,
+        metavar="N",
+        help="sample above N injectable sites per campaign (default 256)",
+    )
+    crash.add_argument(
+        "--sample-seed",
+        type=int,
+        default=0,
+        metavar="N",
+        help="seed for the strided site sampler (default 0)",
+    )
+    crash.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="write the crash matrix (or list of matrices) as JSON",
+    )
     args = parser.parse_args(argv)
 
+    start = time.time()
+    if args.artifact == "crashmatrix":
+        rc = _run_crashmatrix(args)
+        print(f"\n[{time.time() - start:.1f}s]", file=sys.stderr)
+        return rc
     harness = Harness(
         HarnessConfig(scale=args.scale, seed=args.seed),
         cache_dir=args.cache_dir,
     )
-    start = time.time()
     if args.artifact == "run":
         rc = _run_traced(harness, args)
         print(f"\n[{time.time() - start:.1f}s]", file=sys.stderr)

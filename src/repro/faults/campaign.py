@@ -1,0 +1,358 @@
+"""Fault-injection campaigns: sites × fault models → verified/violated.
+
+One campaign = one ``(workload, technique, threads)`` configuration.  A
+golden replay enumerates the injectable sites and records FASE ground
+truth; the :class:`~repro.faults.enumerator.CrashPointEnumerator` picks
+the injection targets; each ``(site, fault_model)`` pair then replays to
+the site, crashes, recovers, and is judged by the oracle.  Results fold
+into a :class:`CrashMatrix` — the (crash-site-class × fault-model →
+verified/violated) table the ``crashmatrix`` CLI artifact emits.
+
+Replays are independent pure functions of the configuration, so they fan
+out over a ``ProcessPoolExecutor`` exactly like experiment grid cells
+(``--jobs``), and a finished campaign memoizes whole into the PR-1
+on-disk :class:`~repro.experiments.cache.ResultCache` when the workload
+is registry-named (anonymous workload objects have no stable
+fingerprint, so they always recompute).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.experiments.cache import ResultCache
+from repro.faults.driver import AtlasReplayDriver, GoldenRun
+from repro.faults.enumerator import CrashPointEnumerator
+from repro.faults.oracle import check_crash
+from repro.nvram.failure import FAULT_CLEAN, FAULT_MODELS, SITE_CLASSES
+from repro.nvram.timing import DEFAULT_TIMING, TimingModel
+
+#: Matrix serialization schema (bump on shape changes).
+MATRIX_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class FaultCampaignSpec:
+    """What to inject: fault models, site filter, sampling bounds."""
+
+    fault_models: Tuple[str, ...] = (FAULT_CLEAN,)
+    site_classes: Optional[Tuple[str, ...]] = None
+    max_sites: int = 256
+    sample_seed: int = 0
+    fault_seed: int = 0
+    jobs: int = 1
+
+    def __post_init__(self) -> None:
+        unknown = set(self.fault_models) - set(FAULT_MODELS)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown fault models {sorted(unknown)}; "
+                f"expected among {FAULT_MODELS}"
+            )
+        if self.jobs < 1:
+            raise ConfigurationError("jobs must be >= 1")
+
+
+@dataclass(frozen=True)
+class _CampaignConfig:
+    """Cache-key fingerprint of everything a campaign's result depends on."""
+
+    workload: str
+    scale: float
+    technique: str
+    threads: int
+    seed: int
+    timing: TimingModel
+    l1_capacity_lines: int
+    l1_ways: int
+    fault_models: Tuple[str, ...]
+    site_classes: Optional[Tuple[str, ...]]
+    max_sites: int
+    sample_seed: int
+    fault_seed: int
+    commit_before_drain: bool
+
+
+@dataclass
+class CrashMatrix:
+    """Campaign verdicts, foldable to JSON and markdown."""
+
+    workload: str
+    technique: str
+    threads: int
+    seed: int
+    total_sites: int
+    exhaustive: bool
+    fault_models: Tuple[str, ...]
+    #: (site_class, fault_model) -> {"injected": n, "violated": n}
+    cells: Dict[Tuple[str, str], Dict[str, int]] = field(default_factory=dict)
+    violations: List[dict] = field(default_factory=list)
+
+    @property
+    def injected(self) -> int:
+        """Total crash points injected across all fault models."""
+        return sum(c["injected"] for c in self.cells.values())
+
+    @property
+    def ok(self) -> bool:
+        """True when every injected crash recovered cleanly."""
+        return not self.violations
+
+    def record(self, site_class: str, fault_model: str, violations) -> None:
+        cell = self.cells.setdefault(
+            (site_class, fault_model), {"injected": 0, "violated": 0}
+        )
+        cell["injected"] += 1
+        if violations:
+            cell["violated"] += 1
+            self.violations.extend(v.to_dict() for v in violations)
+
+    # -- serialization ---------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": MATRIX_SCHEMA,
+            "workload": self.workload,
+            "technique": self.technique,
+            "threads": self.threads,
+            "seed": self.seed,
+            "total_sites": self.total_sites,
+            "exhaustive": self.exhaustive,
+            "fault_models": list(self.fault_models),
+            "cells": {
+                f"{cls}/{model}": dict(stats)
+                for (cls, model), stats in sorted(self.cells.items())
+            },
+            "violations": list(self.violations),
+            "ok": self.ok,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CrashMatrix":
+        if data.get("schema") != MATRIX_SCHEMA:
+            raise ConfigurationError(
+                f"crash matrix schema {data.get('schema')!r} != {MATRIX_SCHEMA}"
+            )
+        matrix = cls(
+            workload=data["workload"],
+            technique=data["technique"],
+            threads=data["threads"],
+            seed=data["seed"],
+            total_sites=data["total_sites"],
+            exhaustive=data["exhaustive"],
+            fault_models=tuple(data["fault_models"]),
+            violations=list(data["violations"]),
+        )
+        for key, stats in data["cells"].items():
+            cls_name, model = key.split("/", 1)
+            matrix.cells[(cls_name, model)] = dict(stats)
+        return matrix
+
+    def to_markdown(self) -> str:
+        """A site-class × fault-model verdict table."""
+        models = list(self.fault_models)
+        lines = [
+            f"### crashmatrix: {self.workload} × {self.technique} "
+            f"({self.threads} thread{'s' if self.threads != 1 else ''}, "
+            f"{'exhaustive' if self.exhaustive else 'sampled'}, "
+            f"{self.total_sites} sites)",
+            "",
+            "| crash-site class | " + " | ".join(models) + " |",
+            "|---" * (len(models) + 1) + "|",
+        ]
+        classes = [c for c in SITE_CLASSES if any(k[0] == c for k in self.cells)]
+        for cls_name in classes:
+            row = [cls_name]
+            for model in models:
+                stats = self.cells.get((cls_name, model))
+                if stats is None:
+                    row.append("—")
+                elif stats["violated"]:
+                    row.append(
+                        f"**VIOLATED** {stats['violated']}/{stats['injected']}"
+                    )
+                else:
+                    row.append(f"verified {stats['injected']}/{stats['injected']}")
+            lines.append("| " + " | ".join(row) + " |")
+        lines.append("")
+        lines.append(
+            "zero violations" if self.ok else f"{len(self.violations)} violation(s)"
+        )
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Worker entry point (module-level: must pickle by reference)
+# ---------------------------------------------------------------------------
+
+
+def _campaign_worker(
+    driver_kwargs: dict,
+    workload: object,
+    golden: GoldenRun,
+    jobs: List[Tuple[int, str, int]],
+) -> List[Tuple[int, str, List[dict]]]:
+    """Inject one chunk of ``(site, fault_model, fault_seed)`` crashes.
+
+    The driver rebuilds (and re-materializes event streams) once per
+    worker; the golden run ships from the parent, so workers never repeat
+    the crash-free replay.
+    """
+    driver = AtlasReplayDriver(workload, **driver_kwargs)
+    out: List[Tuple[int, str, List[dict]]] = []
+    for site, model, fseed in jobs:
+        state, layout = driver.crash_at(site, fault_model=model, fault_seed=fseed)
+        violations = check_crash(golden, site, state, layout)
+        out.append((site, model, [v.to_dict() for v in violations]))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Campaign driver
+# ---------------------------------------------------------------------------
+
+
+def run_campaign(
+    workload: object,
+    *,
+    technique: str = "SC",
+    threads: int = 1,
+    seed: int = 0,
+    scale: float = 1.0,
+    spec: Optional[FaultCampaignSpec] = None,
+    timing: TimingModel = DEFAULT_TIMING,
+    l1_capacity_lines: int = 512,
+    l1_ways: int = 8,
+    technique_options: Optional[dict] = None,
+    commit_before_drain: bool = False,
+    cache_dir: Optional[str] = None,
+    recorder: Optional[object] = None,
+    progress=None,
+) -> CrashMatrix:
+    """Run one fault-injection campaign; see the module docstring.
+
+    ``workload`` is a registry name (resolved with ``scale``) or a
+    :class:`~repro.workloads.base.Workload` instance.  A workload that
+    cannot partition over ``threads`` runs single-threaded instead —
+    the hash benchmark, for one, is single-threaded by construction.
+    ``progress(done, total)`` is called after every injected crash.
+    """
+    spec = spec or FaultCampaignSpec()
+    if isinstance(workload, str):
+        from repro.workloads.registry import get_workload
+
+        name = workload
+        workload = get_workload(name, scale=scale)
+    else:
+        name = getattr(workload, "name", type(workload).__name__)
+    if threads > 1 and not workload.supports_threads(threads):
+        threads = 1
+
+    cache = None
+    cache_key = None
+    if cache_dir is not None and isinstance(name, str):
+        cache = ResultCache(cache_dir)
+        cache_key = ResultCache.key(
+            _CampaignConfig(
+                workload=name,
+                scale=scale,
+                technique=technique,
+                threads=threads,
+                seed=seed,
+                timing=timing,
+                l1_capacity_lines=l1_capacity_lines,
+                l1_ways=l1_ways,
+                fault_models=tuple(spec.fault_models),
+                site_classes=spec.site_classes,
+                max_sites=spec.max_sites,
+                sample_seed=spec.sample_seed,
+                fault_seed=spec.fault_seed,
+                commit_before_drain=commit_before_drain,
+            ),
+            "crashmatrix",
+        )
+        data = cache.get(cache_key)
+        if data is not None:
+            try:
+                return CrashMatrix.from_dict(data)
+            except ConfigurationError:
+                pass  # stale schema: recompute and overwrite
+
+    driver_kwargs = dict(
+        technique=technique,
+        num_threads=threads,
+        seed=seed,
+        timing=timing,
+        l1_capacity_lines=l1_capacity_lines,
+        l1_ways=l1_ways,
+        technique_options=technique_options,
+        commit_before_drain=commit_before_drain,
+    )
+    driver = AtlasReplayDriver(workload, recorder=recorder, **driver_kwargs)
+    golden = driver.golden()
+    enumerator = CrashPointEnumerator(
+        golden.sites,
+        max_sites=spec.max_sites,
+        sample_seed=spec.sample_seed,
+        site_classes=spec.site_classes,
+    )
+    targets = enumerator.select()
+    jobs = [
+        (site[0], model, spec.fault_seed + site[0])
+        for model in spec.fault_models
+        for site in targets
+    ]
+
+    matrix = CrashMatrix(
+        workload=name,
+        technique=technique,
+        threads=threads,
+        seed=seed,
+        total_sites=len(golden.sites),
+        exhaustive=enumerator.exhaustive,
+        fault_models=tuple(spec.fault_models),
+    )
+
+    done = 0
+    if spec.jobs > 1 and len(jobs) > 1:
+        chunks: List[List[Tuple[int, str, int]]] = [
+            jobs[i :: spec.jobs * 2] for i in range(spec.jobs * 2)
+        ]
+        chunks = [c for c in chunks if c]
+        with ProcessPoolExecutor(max_workers=spec.jobs) as pool:
+            futures = [
+                pool.submit(_campaign_worker, driver_kwargs, workload, golden, chunk)
+                for chunk in chunks
+            ]
+            collected = []
+            for future in as_completed(futures):
+                for site, model, viols in future.result():
+                    collected.append((site, model, viols))
+                    done += 1
+                    if progress is not None:
+                        progress(done, len(jobs))
+        # Fold in deterministic order regardless of completion order.
+        for site, model, viols in sorted(collected, key=lambda r: (r[1], r[0])):
+            matrix.cells.setdefault(
+                (golden.site_class(site), model), {"injected": 0, "violated": 0}
+            )
+            cell = matrix.cells[(golden.site_class(site), model)]
+            cell["injected"] += 1
+            if viols:
+                cell["violated"] += 1
+                matrix.violations.extend(viols)
+    else:
+        for site, model, fseed in jobs:
+            state, layout = driver.crash_at(site, fault_model=model, fault_seed=fseed)
+            violations = check_crash(golden, site, state, layout)
+            matrix.record(golden.site_class(site), model, violations)
+            done += 1
+            if progress is not None:
+                progress(done, len(jobs))
+
+    if cache is not None and cache_key is not None:
+        cache.put(cache_key, matrix.to_dict())
+    return matrix

@@ -1,0 +1,310 @@
+"""Deterministic Atlas replay of workload event streams, crashable anywhere.
+
+The fault-injection campaign needs to execute a workload *with full Atlas
+semantics* — undo logging, data-drain-before-commit ordering, per-thread
+software caches — and to do so twice over: once crash-free while
+recording every injectable site plus the ground-truth FASE bookkeeping
+(the **golden run**), then once per crash plan, stopping dead at one
+site.  :class:`AtlasReplayDriver` is that executor.
+
+It is deliberately *not* ``Machine.run``: the stream path routes stores
+through the persistence technique only, while fault injection needs each
+in-FASE store to pass through :class:`~repro.atlas.runtime.AtlasRuntime`
+so old values are undo-logged first.  The driver therefore replays the
+workload's per-thread event streams through one runtime per thread over
+a shared value-tracking machine, interleaved with the same
+smallest-cycle-first, ``SCHED_BATCH``-quantum scheduling the machine
+uses — so a replay is bit-deterministic and every replay of one
+configuration visits the identical global site sequence, which is what
+makes ``CrashPlan(at_site=k)`` meaningful.
+
+Address plumbing: workload allocators hand out addresses from
+``NVRAM_BASE`` up — the same space the Atlas region manager carves log
+regions from.  The driver reserves a ``__replay_data`` region *after*
+the per-thread log regions and shifts every persistent workload address
+into it (a constant, line-aligned offset), so data and log never
+collide.  All golden bookkeeping and oracle checks speak shifted
+addresses.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.atlas.region import RegionManager
+from repro.atlas.runtime import AtlasLayout, AtlasRuntime
+from repro.common.errors import ConfigurationError, SimulationError
+from repro.common.events import EventKind
+from repro.common.geometry import CACHE_LINE_SIZE
+from repro.nvram.failure import CrashedState, CrashPlan, PowerFailure
+from repro.nvram.machine import SCHED_BATCH, Machine, MachineConfig
+from repro.nvram.memory import NVRAM_BASE
+from repro.nvram.timing import DEFAULT_TIMING, TimingModel
+
+#: Address space reserved for shifted workload data.  Simulated NVRAM is
+#: a dict, so the reservation costs nothing; it only has to exceed any
+#: workload's address span.
+DATA_REGION_SIZE = 256 * 1024 * 1024
+
+
+@dataclass
+class FaseRecord:
+    """Ground truth about one outermost FASE from the golden run."""
+
+    uid: int
+    thread_id: int
+    begin_site: int                 # sites completed before the FASE began
+    commit_site: Optional[int] = None   # site index of the commit flush
+    #: Last value written per (shifted) address inside the FASE.
+    writes: Dict[int, object] = field(default_factory=dict)
+    #: Every value written per address (torn crashes can leak any of them).
+    all_values: Dict[int, Set[object]] = field(default_factory=dict)
+
+
+@dataclass
+class GoldenRun:
+    """Everything the oracle needs from one crash-free replay."""
+
+    #: Injectable sites: (index, site_class, thread_id, cycles).
+    sites: List[Tuple[int, str, int, int]]
+    fases: Dict[int, FaseRecord]
+    commit_order: List[int]         # FASE uids in commit completion order
+    #: Persistent (shifted) addresses ever stored *outside* any FASE —
+    #: unprotected by atomicity, so the oracle must not judge them.
+    unprotected: Set[int]
+    final_nvram: Dict[int, object]
+    layout: AtlasLayout
+
+    def committed_by(self, site: int) -> List[int]:
+        """Uids of FASEs whose commit record was durable by ``site``,
+        in commit order (crash-at-``site`` means site ``site`` completed)."""
+        return [
+            uid
+            for uid in self.commit_order
+            if self.fases[uid].commit_site <= site
+        ]
+
+    def site_class(self, site: int) -> str:
+        return self.sites[site][1]
+
+
+class AtlasReplayDriver:
+    """Replays one workload configuration; see the module docstring.
+
+    ``commit_before_drain`` deliberately breaks the Atlas write ordering
+    (commit record flushed *before* the FASE's data drains) — the
+    negative-control knob the campaign's self-test uses to prove the
+    oracle actually detects ordering violations.
+    """
+
+    def __init__(
+        self,
+        workload: object,
+        *,
+        technique: str = "SC",
+        num_threads: int = 1,
+        seed: int = 0,
+        timing: TimingModel = DEFAULT_TIMING,
+        l1_capacity_lines: int = 512,
+        l1_ways: int = 8,
+        technique_options: Optional[Dict[str, object]] = None,
+        commit_before_drain: bool = False,
+        recorder: Optional[object] = None,
+    ) -> None:
+        if num_threads < 1:
+            raise ConfigurationError("num_threads must be >= 1")
+        self.workload = workload
+        self.technique = technique
+        self.num_threads = num_threads
+        self.seed = seed
+        self.timing = timing
+        self.l1_capacity_lines = l1_capacity_lines
+        self.l1_ways = l1_ways
+        self.technique_options = dict(technique_options or {})
+        self.commit_before_drain = commit_before_drain
+        self.recorder = recorder
+        self._events: Optional[List[List[object]]] = None
+
+    # ------------------------------------------------------------------
+
+    def _materialized_events(self) -> List[List[object]]:
+        """Per-thread event lists, materialized once and replayed many
+        times (generators cannot be rewound; lists can)."""
+        if self._events is None:
+            streams = self.workload.streams(self.num_threads, self.seed)
+            if len(streams) != self.num_threads:
+                raise SimulationError(
+                    f"workload produced {len(streams)} streams for "
+                    f"{self.num_threads} threads"
+                )
+            self._events = [list(s) for s in streams]
+        return self._events
+
+    def _build(self) -> Tuple[Machine, List[AtlasRuntime], int]:
+        """A fresh machine + per-thread runtimes + the data-address shift.
+
+        Every replay rebuilds from scratch so state never leaks between
+        crash plans; construction is deterministic, so the region layout
+        — and with it the shift — is identical across replays.
+        """
+        machine = Machine(
+            MachineConfig(
+                timing=self.timing,
+                l1_capacity_lines=self.l1_capacity_lines,
+                l1_ways=self.l1_ways,
+                track_values=True,
+            ),
+            recorder=self.recorder,
+        )
+        regions = RegionManager()
+        runtimes = [
+            AtlasRuntime.for_machine(
+                machine, regions, self.technique, tid, **self.technique_options
+            )
+            for tid in range(self.num_threads)
+        ]
+        data_region = regions.find_or_create("__replay_data", DATA_REGION_SIZE)
+        # First line of a region holds the root slot; region bases are
+        # line-aligned, so the shift preserves line geometry exactly.
+        shift = data_region.base + CACHE_LINE_SIZE - NVRAM_BASE
+        return machine, runtimes, shift
+
+    # ------------------------------------------------------------------
+
+    def _replay(
+        self,
+        machine: Machine,
+        runtimes: List[AtlasRuntime],
+        shift: int,
+        golden: Optional[GoldenRun],
+    ) -> None:
+        """Drive all threads to completion (or let PowerFailure escape).
+
+        With ``golden`` given, records FASE ground truth as it executes.
+        """
+        events = self._materialized_events()
+        positions = [0] * self.num_threads
+        open_fases: List[Optional[FaseRecord]] = [None] * self.num_threads
+        kind_store = EventKind.STORE
+        kind_load = EventKind.LOAD
+        kind_work = EventKind.WORK
+        kind_begin = EventKind.FASE_BEGIN
+        nvram_base = NVRAM_BASE
+        heap: List[Tuple[int, int]] = [(0, tid) for tid in range(self.num_threads)]
+        heapq.heapify(heap)
+        while heap:
+            _, tid = heapq.heappop(heap)
+            rt = runtimes[tid]
+            stream = events[tid]
+            pos = positions[tid]
+            end = min(pos + SCHED_BATCH, len(stream))
+            while pos < end:
+                ev = stream[pos]
+                pos += 1
+                kind = ev.kind
+                if kind == kind_store:
+                    addr = ev.addr
+                    if addr >= nvram_base:
+                        addr += shift
+                        rt.store(addr, ev.size, ev.value)
+                        if golden is not None:
+                            record = open_fases[tid]
+                            if record is not None:
+                                record.writes[addr] = ev.value
+                                record.all_values.setdefault(addr, set()).add(
+                                    ev.value
+                                )
+                            else:
+                                golden.unprotected.add(addr)
+                    else:
+                        rt.session.store(addr, ev.size, ev.value)
+                elif kind == kind_work:
+                    rt.work(ev.amount)
+                elif kind == kind_load:
+                    addr = ev.addr
+                    rt.load(addr + shift if addr >= nvram_base else addr, ev.size)
+                elif kind == kind_begin:
+                    rt.fases.begin()
+                    if rt.fases.depth == 1:
+                        rt.log.on_fase_begin()
+                        if golden is not None:
+                            record = FaseRecord(
+                                uid=rt.fases.current_id,
+                                thread_id=tid,
+                                begin_site=machine.sites_seen,
+                            )
+                            golden.fases[record.uid] = record
+                            open_fases[tid] = record
+                else:  # FASE_END
+                    if rt.fases.depth == 1:
+                        uid = rt.fases.current_id
+                        if self.commit_before_drain:
+                            # Broken ordering (negative control): the
+                            # commit record becomes durable while the
+                            # FASE's data still sits in volatile caches.
+                            rt.log.commit(uid)
+                            commit_site = machine.sites_seen - 1
+                            rt.fases.end()
+                        else:
+                            # Atlas ordering: drain data, then commit.
+                            rt.fases.end()
+                            rt.log.commit(uid)
+                            commit_site = machine.sites_seen - 1
+                        if golden is not None:
+                            golden.fases[uid].commit_site = commit_site
+                            golden.commit_order.append(uid)
+                            open_fases[tid] = None
+                    else:
+                        rt.fases.end()
+            positions[tid] = pos
+            if pos < len(stream):
+                heapq.heappush(heap, (rt.stats.cycles, tid))
+            else:
+                rt.finish()
+
+    # ------------------------------------------------------------------
+
+    def golden(self) -> GoldenRun:
+        """One crash-free replay recording sites and FASE ground truth."""
+        machine, runtimes, shift = self._build()
+        sites = machine.record_sites()
+        golden = GoldenRun(
+            sites=sites,
+            fases={},
+            commit_order=[],
+            unprotected=set(),
+            final_nvram={},
+            layout=runtimes[0].layout(),
+        )
+        self._replay(machine, runtimes, shift, golden)
+        golden.final_nvram = machine.memory.nvram_snapshot()
+        return golden
+
+    def crash_at(
+        self,
+        site: int,
+        fault_model: str = "clean",
+        fault_seed: int = 0,
+    ) -> Tuple[CrashedState, AtlasLayout]:
+        """Replay until site ``site`` completes, then fail the power.
+
+        Returns the (fault-mutated) durable image and the layout recovery
+        needs.  Raises :class:`~repro.common.errors.SimulationError` if
+        the site never fires (index out of this configuration's range).
+        """
+        machine, runtimes, shift = self._build()
+        machine.arm_crash_plan(
+            CrashPlan(at_site=site, fault_model=fault_model, fault_seed=fault_seed)
+        )
+        try:
+            self._replay(machine, runtimes, shift, golden=None)
+        except PowerFailure:
+            pass
+        state = machine.crashed_state
+        if state is None:
+            raise SimulationError(
+                f"crash site {site} never fired (run has fewer sites)"
+            )
+        return state, runtimes[0].layout()

@@ -1,0 +1,103 @@
+"""Choosing which crash sites to inject: exhaustive or seeded-strided.
+
+Small runs are swept exhaustively — every enumerated site gets a crash.
+Past ``max_sites`` the enumerator falls back to deterministic sampling
+that still guarantees class coverage: within each site class it always
+keeps the first and last occurrence (the boundary cases recovery bugs
+love) and fills the rest of the class's proportional quota with a
+strided walk whose phase is seeded — so two campaigns with the same seed
+pick the same sites (pinned by a regression test), while different seeds
+explore different phases of the run.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.nvram.failure import SITE_CLASSES
+
+#: One enumerated site: (index, site_class, thread_id, cycles).
+Site = Tuple[int, str, int, int]
+
+
+class CrashPointEnumerator:
+    """Select injection targets from a golden run's site list."""
+
+    def __init__(
+        self,
+        sites: Sequence[Site],
+        *,
+        max_sites: int = 256,
+        sample_seed: int = 0,
+        site_classes: Optional[Sequence[str]] = None,
+    ) -> None:
+        if max_sites < 1:
+            raise ConfigurationError("max_sites must be >= 1")
+        if site_classes is not None:
+            unknown = set(site_classes) - set(SITE_CLASSES)
+            if unknown:
+                raise ConfigurationError(
+                    f"unknown site classes {sorted(unknown)}; "
+                    f"expected among {SITE_CLASSES}"
+                )
+        self.sites = list(sites)
+        self.max_sites = max_sites
+        self.sample_seed = sample_seed
+        self.site_classes = tuple(site_classes) if site_classes else None
+
+    def _pool(self) -> List[Site]:
+        if self.site_classes is None:
+            return self.sites
+        wanted = set(self.site_classes)
+        return [s for s in self.sites if s[1] in wanted]
+
+    @property
+    def exhaustive(self) -> bool:
+        """Whether every eligible site will be injected."""
+        return len(self._pool()) <= self.max_sites
+
+    def select(self) -> List[Site]:
+        """The sites to inject, in site-index order."""
+        pool = self._pool()
+        if len(pool) <= self.max_sites:
+            return pool
+
+        by_class: Dict[str, List[Site]] = {}
+        for site in pool:
+            by_class.setdefault(site[1], []).append(site)
+
+        # Proportional quotas, every non-empty class guaranteed >= 2
+        # (its first and last site), remainder to the largest classes.
+        classes = sorted(by_class)  # deterministic iteration order
+        quotas: Dict[str, int] = {}
+        for cls in classes:
+            share = self.max_sites * len(by_class[cls]) // len(pool)
+            quotas[cls] = max(2, min(share, len(by_class[cls])))
+        # Trim overshoot from the biggest quotas first.
+        excess = sum(quotas.values()) - self.max_sites
+        while excess > 0:
+            cls = max(classes, key=lambda c: quotas[c])
+            if quotas[cls] <= 2:
+                break
+            quotas[cls] -= 1
+            excess -= 1
+
+        rng = random.Random(self.sample_seed)
+        picked: Dict[int, Site] = {}
+        for cls in classes:
+            members = by_class[cls]
+            quota = quotas[cls]
+            chosen = {0, len(members) - 1}
+            interior = quota - len(chosen)
+            if interior > 0 and len(members) > 2:
+                stride = (len(members) - 2) / (interior + 1)
+                phase = rng.random()  # seeded: one draw per class
+                for k in range(interior):
+                    pos = 1 + int((k + phase) * stride)
+                    chosen.add(min(pos, len(members) - 2))
+            for pos in chosen:
+                site = members[pos]
+                picked[site[0]] = site
+        return [picked[idx] for idx in sorted(picked)]

@@ -1,0 +1,190 @@
+"""The recovery oracle: judge a recovered image against golden truth.
+
+For a crash at site *s*, the FASE contract (§II-A: "upon a system
+failure, either all or none of the updates in a FASE are visible")
+determines the recovered image exactly, up to unprotected data:
+
+``committed-present``
+    Every FASE whose commit record was durable by *s* must have **all**
+    its writes present — committed data drained before the commit record
+    was flushed, so nothing of it was lost with the volatile caches.
+``uncommitted-absent``
+    Every FASE not committed by *s* must be fully rolled back: each of
+    its addresses reads the value the *last committed* writer left there
+    (or nothing, if no committed FASE ever wrote it).
+``log-before-data``
+    Already in the **pre-recovery** image: a not-yet-committed FASE's
+    value may appear in NVRAM only if its undo record does too —
+    otherwise recovery had nothing to roll back with, which is precisely
+    the unsound state the write ordering exists to prevent.
+
+The first two are checked by overlaying the golden run's committed
+writes in commit order and comparing address-by-address; the third by
+scanning the crash image's undo logs directly.  ``recovery.py``'s module
+docstring carries the matching soundness argument; DESIGN.md §10 ties
+the two together.
+
+A stored ``None`` payload and an absent address are deliberately
+indistinguishable here — that is the repo-wide convention (the undo log
+encodes "did not exist before" as ``old_value None``), so the oracle
+normalizes both to ``None`` before comparing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.atlas.log import KIND_UNDO, UndoLog
+from repro.atlas.recovery import RecoveryReport, recover
+from repro.common.errors import RecoveryError
+from repro.faults.driver import GoldenRun
+from repro.nvram.failure import CrashedState
+
+#: Violation kinds the oracle reports.
+V_MISSING_COMMITTED = "missing_committed"
+V_LEAKED_UNCOMMITTED = "leaked_uncommitted"
+V_WRONG_VALUE = "wrong_value"
+V_LOG_BEFORE_DATA = "log_before_data"
+V_RECOVERY_ERROR = "recovery_error"
+
+
+@dataclass(frozen=True)
+class OracleViolation:
+    """One broken invariant at one crash point."""
+
+    kind: str
+    site: int
+    site_class: str
+    fault_model: str
+    addr: Optional[int] = None
+    fase: Optional[int] = None
+    expected: object = None
+    actual: object = None
+    detail: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "site": self.site,
+            "site_class": self.site_class,
+            "fault_model": self.fault_model,
+            "addr": self.addr,
+            "fase": self.fase,
+            "expected": repr(self.expected),
+            "actual": repr(self.actual),
+            "detail": self.detail,
+        }
+
+
+def expected_image_at(golden: GoldenRun, site: int) -> Dict[int, object]:
+    """The FASE-protected portion of the image a crash at ``site`` must
+    recover to: committed writes overlaid in commit order."""
+    expected: Dict[int, object] = {}
+    for uid in golden.committed_by(site):
+        expected.update(golden.fases[uid].writes)
+    return expected
+
+
+def _scan_undo_entries(
+    image: Dict[int, object], layout
+) -> Set[Tuple[int, int]]:
+    """All ``(fase_id, addr)`` undo records durable in ``image``."""
+    entries: Set[Tuple[int, int]] = set()
+    for region in layout.log_regions:
+        for record in UndoLog.scan(image, region.base, region.size):
+            if record.kind == KIND_UNDO:
+                entries.add((record.fase_id, record.addr))
+    return entries
+
+
+def check_crash(
+    golden: GoldenRun,
+    site: int,
+    state: CrashedState,
+    layout=None,
+) -> List[OracleViolation]:
+    """Recover ``state`` and report every FASE-invariant violation.
+
+    ``layout`` defaults to the golden run's (replays of one configuration
+    share the region layout by construction).
+    """
+    if layout is None:
+        layout = golden.layout
+    site_class = golden.site_class(site)
+    fault_model = state.fault_model
+    violations: List[OracleViolation] = []
+
+    # Invariant 3 first, on the untouched pre-recovery image: every
+    # leaked in-flight value must have its undo record already durable.
+    expected = expected_image_at(golden, site)
+    committed = set(golden.committed_by(site))
+    undo_entries = _scan_undo_entries(state.nvram, layout)
+    for uid, record in golden.fases.items():
+        if uid in committed or record.begin_site > site:
+            continue  # committed, or not yet begun at the crash
+        for addr, values in record.all_values.items():
+            if addr in golden.unprotected:
+                continue
+            leaked = state.nvram.get(addr)
+            if leaked is None or leaked not in values:
+                continue
+            if leaked == expected.get(addr):
+                continue  # indistinguishable from the committed value
+            if (uid, addr) not in undo_entries:
+                violations.append(
+                    OracleViolation(
+                        kind=V_LOG_BEFORE_DATA,
+                        site=site,
+                        site_class=site_class,
+                        fault_model=fault_model,
+                        addr=addr,
+                        fase=uid,
+                        actual=leaked,
+                        detail="in-flight value durable without its undo record",
+                    )
+                )
+
+    try:
+        report: RecoveryReport = recover(state, layout)
+    except RecoveryError as exc:
+        violations.append(
+            OracleViolation(
+                kind=V_RECOVERY_ERROR,
+                site=site,
+                site_class=site_class,
+                fault_model=fault_model,
+                detail=str(exc),
+            )
+        )
+        return violations
+
+    # Invariants 1 + 2: compare every FASE-protected address against the
+    # committed overlay.  Unprotected addresses carry no guarantee.
+    checked: Set[int] = set()
+    for record in golden.fases.values():
+        checked.update(record.writes)
+    checked -= golden.unprotected
+    for addr in sorted(checked):
+        exp = expected.get(addr)
+        act = report.nvram.get(addr)
+        if exp == act:
+            continue
+        if exp is not None and act is None:
+            kind = V_MISSING_COMMITTED
+        elif exp is None and act is not None:
+            kind = V_LEAKED_UNCOMMITTED
+        else:
+            kind = V_WRONG_VALUE
+        violations.append(
+            OracleViolation(
+                kind=kind,
+                site=site,
+                site_class=site_class,
+                fault_model=fault_model,
+                addr=addr,
+                expected=exp,
+                actual=act,
+            )
+        )
+    return violations

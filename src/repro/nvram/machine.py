@@ -24,14 +24,30 @@ machine calls ``bind(port)``, ``on_store(line)``, ``on_fase_begin()``,
 from __future__ import annotations
 
 import heapq
+import warnings
 from dataclasses import dataclass
-from typing import Callable, Iterable, Iterator, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.common.errors import ConfigurationError, SimulationError
 from repro.common.events import Event, EventBatch, EventKind
 from repro.common.geometry import lines_spanned
 from repro.locality.trace import WriteTrace
-from repro.nvram.failure import CrashedState, CrashPlan
+from repro.nvram.failure import (
+    _ABSENT,
+    FAULT_CLEAN,
+    FAULT_REORDERED_FLUSH,
+    FAULT_TORN_LINE,
+    SITE_COMMIT,
+    SITE_DRAIN,
+    SITE_EVICT_FLUSH,
+    SITE_LOG_APPEND,
+    SITE_STORE,
+    CrashedState,
+    CrashPlan,
+    PowerFailure,
+    apply_reordered_flushes,
+    apply_torn_lines,
+)
 from repro.nvram.flushqueue import FlushQueue
 from repro.nvram.hwcache import HardwareCache
 from repro.nvram.memory import NVRAM_BASE, MainMemory
@@ -49,6 +65,16 @@ from repro.obs.trace import (
 
 #: Events a thread executes before the scheduler re-evaluates clocks.
 SCHED_BATCH = 64
+
+#: Flush categories that are injectable crash sites, and their class.
+#: ``fase_end``/``eager``/``final`` flushes are not individually
+#: injectable — the synchronous drain that follows them is the ordering
+#: point, and it gets its own :data:`~repro.nvram.failure.SITE_DRAIN`.
+_FLUSH_SITE = {
+    "eviction": SITE_EVICT_FLUSH,
+    "log": SITE_LOG_APPEND,
+    "commit": SITE_COMMIT,
+}
 
 
 @dataclass(frozen=True)
@@ -209,14 +235,39 @@ class Machine:
     ----------
     config:
         Machine configuration (timing model, cache geometry).
+    recorder:
+        Structured trace recorder (keyword-only); defaults to the
+        disabled ``NULL_RECORDER``.
+    metrics:
+        Metrics registry (keyword-only); default ``None`` disables
+        sampling entirely.
     """
 
     def __init__(
         self,
         config: Optional[MachineConfig] = None,
+        *args: object,
         recorder: Optional[object] = None,
         metrics: Optional[object] = None,
     ) -> None:
+        if args:
+            # Deprecation shim: Machine(config, recorder, metrics) used to
+            # accept these positionally.  Remove after one release.
+            warnings.warn(
+                "passing recorder/metrics to Machine() positionally is "
+                "deprecated; use the recorder=/metrics= keywords",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if len(args) > 2:
+                raise TypeError(
+                    f"Machine() takes at most 3 positional arguments "
+                    f"({3 + len(args)} given)"
+                )
+            if recorder is None:
+                recorder = args[0]
+            if len(args) == 2 and metrics is None:
+                metrics = args[1]
         self.config = config or MachineConfig()
         self.memory = MainMemory()
         self.hwcache = HardwareCache(
@@ -233,10 +284,99 @@ class Machine:
         self._stores_seen = 0
         self._crash_plan: Optional[CrashPlan] = None
         self.crashed_state: Optional[CrashedState] = None
+        # Crash-site machinery (repro.faults).  ``_sites_active`` gates
+        # every site hook with one attribute load, so runs that neither
+        # enumerate sites nor carry an at_site plan pay nothing.
+        self._sites_active = False
+        self._sites_seen = 0
+        self._site_log: Optional[List[Tuple[int, str, int, int]]] = None
+        # In-flight hardware eviction write-backs, recorded only when a
+        # reordered_flush plan is armed: (ctx, line, {addr: old durable}).
+        self._record_inflight = False
+        self._fault_inflight: List[Tuple[object, int, Dict[int, object]]] = []
 
     def _new_flushq(self) -> FlushQueue:
         t = self.config.timing
         return FlushQueue(t.flush_queue_depth, t.writeback_service)
+
+    # ------------------------------------------------------------------
+    # Crash-site enumeration and scheduled failures (repro.faults)
+    # ------------------------------------------------------------------
+
+    def record_sites(self) -> List[Tuple[int, str, int, int]]:
+        """Enable crash-site enumeration; returns the live site log.
+
+        Each completed injectable site appends one
+        ``(index, site_class, thread_id, cycles)`` tuple.  Indices are
+        global and in execution order; a deterministic replay of the same
+        configuration visits the same sites with the same indices, which
+        is the contract ``CrashPlan(at_site=...)`` relies on.
+        """
+        self._site_log = []
+        self._sites_active = True
+        return self._site_log
+
+    @property
+    def sites_seen(self) -> int:
+        """How many injectable sites have completed so far."""
+        return self._sites_seen
+
+    def arm_crash_plan(self, plan: Optional[CrashPlan]) -> None:
+        """Schedule a crash for session-driven execution.
+
+        ``Machine.run`` arms its ``crash_plan`` argument through here;
+        imperative drivers (sessions / the Atlas runtime) call it
+        directly before pushing operations.  A site-triggered crash
+        raises :class:`~repro.nvram.failure.PowerFailure` out of the
+        operation that completed the site, with ``crashed_state``
+        already populated.
+        """
+        self._crash_plan = plan
+        if plan is None:
+            return
+        if plan.at_site is not None:
+            self._sites_active = True
+        if plan.fault_model == FAULT_REORDERED_FLUSH:
+            self._record_inflight = True
+
+    def _note_site(self, ctx: "_ThreadContext", site_class: str) -> None:
+        """One injectable site just completed; crash here if scheduled."""
+        idx = self._sites_seen
+        self._sites_seen = idx + 1
+        log = self._site_log
+        if log is not None:
+            log.append((idx, site_class, ctx.thread_id, ctx.stats.cycles))
+        plan = self._crash_plan
+        if plan is not None and plan.at_site == idx:
+            self._crash(site=idx, site_class=site_class)
+            raise PowerFailure(
+                f"scheduled power failure at site {idx} ({site_class})"
+            )
+
+    def _note_evict_inflight(
+        self, ctx: "_ThreadContext", line: int, values: Dict[int, object]
+    ) -> None:
+        """Record a hardware eviction write-back as droppable in-flight.
+
+        Captures the *previous* durable values (before ``write_back``),
+        so a reordered_flush crash can revert a suffix.  Per-thread
+        records are capped at the flush-queue depth: anything older has
+        necessarily left the queue and completed.
+        """
+        read = self.memory.read
+        olds = {addr: read(addr, _ABSENT) for addr in values}
+        inflight = self._fault_inflight
+        inflight.append((ctx, line, olds))
+        depth = self.config.timing.flush_queue_depth
+        count = 0
+        for rec in inflight:
+            if rec[0] is ctx:
+                count += 1
+        if count > depth:
+            for i, rec in enumerate(inflight):
+                if rec[0] is ctx:
+                    del inflight[i]
+                    break
 
     # ------------------------------------------------------------------
     # Internal flush plumbing
@@ -260,7 +400,7 @@ class Machine:
             stats.fase_end_flushes += 1
         elif category == "eager":
             stats.eager_flushes += 1
-        elif category == "log":
+        elif category == "log" or category == "commit":
             stats.log_flushes += 1
         else:
             stats.final_flushes += 1
@@ -285,6 +425,17 @@ class Machine:
                 )
             if stall:
                 rec.record(EV_STALL, ctx.thread_id, stats.cycles, stall, 0)
+        # An explicit flush of ``line`` forces any earlier write-back of
+        # the same line to have completed (same-line ordering), so it is
+        # no longer droppable by a reordered_flush crash.
+        if self._record_inflight and self._fault_inflight:
+            self._fault_inflight = [
+                r for r in self._fault_inflight if r[1] != line
+            ]
+        if self._sites_active:
+            site = _FLUSH_SITE.get(category)
+            if site is not None:
+                self._note_site(ctx, site)
 
     def _do_drain(self, ctx: _ThreadContext) -> None:
         stats = ctx.stats
@@ -295,6 +446,14 @@ class Machine:
         stats.stall_cycles += stall
         if rec.enabled:
             rec.record(EV_DRAIN, ctx.thread_id, stats.cycles, stall, outstanding)
+        # The queue is empty: every write-back this thread had in flight
+        # is durable, so none of its records remain droppable.
+        if self._record_inflight and self._fault_inflight:
+            self._fault_inflight = [
+                r for r in self._fault_inflight if r[0] is not ctx
+            ]
+        if self._sites_active:
+            self._note_site(ctx, SITE_DRAIN)
 
     def _evict_writeback(self, ctx: _ThreadContext, line: int) -> None:
         # A dirty line displaced by a fill: the hardware writes it back in
@@ -302,6 +461,8 @@ class Machine:
         if self.config.track_values:
             values = self.hwcache.take_values(line)
             if values:
+                if self._record_inflight:
+                    self._note_evict_inflight(ctx, line, values)
                 self.memory.write_back(values.items())
         stats = ctx.stats
         now, stall = ctx.flushq.issue(stats.cycles)
@@ -373,6 +534,9 @@ class Machine:
         trace_fids = ctx.trace_fids
         evict_writeback = self._evict_writeback
         plan = self._crash_plan
+        # Only store-count plans reach the batched path; ``Machine.run``
+        # routes site-triggered plans to the per-event loop.
+        plan_after = plan.after_stores if plan is not None else None
         # Structured tracing: ``recording`` gates the (rare) FASE-boundary
         # sites below; with the null recorder the fast path adds only
         # this one hoisted attribute load per quantum.
@@ -483,8 +647,8 @@ class Machine:
                             instructions += cost_per_store
                             stores_seen += 1
                             if (
-                                plan is not None
-                                and stores_seen >= plan.after_stores
+                                plan_after is not None
+                                and stores_seen >= plan_after
                             ):
                                 ctx.batch_pos = i + 1
                                 self._stores_seen = stores_seen
@@ -591,8 +755,14 @@ class Machine:
                 stats.cycles += cost_per_store
                 stats.instructions += cost_per_store
                 self._stores_seen += 1
+                if self._sites_active:
+                    self._note_site(ctx, SITE_STORE)
                 plan = self._crash_plan
-                if plan is not None and self._stores_seen >= plan.after_stores:
+                if (
+                    plan is not None
+                    and plan.after_stores is not None
+                    and self._stores_seen >= plan.after_stores
+                ):
                     self._crash()
                     return
         elif kind == EventKind.WORK:
@@ -671,11 +841,32 @@ class Machine:
             f"flush_ratio/{key}", now, d_flushes / d_stores if d_stores else 0.0
         )
 
-    def _crash(self) -> None:
+    def _crash(
+        self, site: Optional[int] = None, site_class: Optional[str] = None
+    ) -> None:
+        image = self.memory.nvram_snapshot()
+        dirty = self.hwcache.dirty_lines()
+        plan = self._crash_plan
+        model = plan.fault_model if plan is not None else FAULT_CLEAN
+        torn: List[int] = []
+        dropped = 0
+        if model == FAULT_TORN_LINE:
+            torn = apply_torn_lines(
+                image, dirty, self.hwcache.values, plan.fault_seed
+            )
+        elif model == FAULT_REORDERED_FLUSH:
+            dropped = apply_reordered_flushes(
+                image, self._fault_inflight, plan.fault_seed
+            )
         self.crashed_state = CrashedState(
-            nvram=self.memory.nvram_snapshot(),
-            lost_lines=self.hwcache.dirty_lines(),
+            nvram=image,
+            lost_lines=dirty,
             at_store=self._stores_seen,
+            at_site=site,
+            site_class=site_class,
+            fault_model=model,
+            torn_lines=torn,
+            dropped_writebacks=dropped,
         )
 
     # ------------------------------------------------------------------
@@ -722,6 +913,7 @@ class Machine:
         self,
         workload: object,
         technique_factory: Callable[[int], object],
+        *args: object,
         num_threads: int = 1,
         seed: int = 0,
         record_traces: bool = False,
@@ -741,22 +933,43 @@ class Machine:
         technique_factory:
             Called once per thread id; returns a fresh technique instance
             (software caches are per-thread).
-        record_traces:
-            Collect the per-thread persistent-write traces (needed for
-            offline MRC analysis and the figure pipelines).
-        crash_plan:
-            Optional scheduled power failure; afterwards
-            ``self.crashed_state`` holds the durable NVRAM image.
-        use_batches:
-            Force (``True``) or forbid (``False``) the batched fast
-            path.  Default ``None`` selects it automatically whenever the
-            workload provides batch streams and value tracking is off
-            (batches carry no store payloads).  Both paths produce
-            bit-identical results.
+        num_threads, seed, record_traces, crash_plan, use_batches:
+            Keyword-only.  ``record_traces`` collects the per-thread
+            persistent-write traces (needed for offline MRC analysis and
+            the figure pipelines).  ``crash_plan`` schedules a power
+            failure; afterwards ``self.crashed_state`` holds the durable
+            NVRAM image.  Site-triggered plans (``at_site``) force the
+            per-event path — site hooks live in the flush plumbing the
+            batched loop bypasses.  ``use_batches`` forces (``True``) or
+            forbids (``False``) the batched fast path; default ``None``
+            selects it automatically whenever the workload provides batch
+            streams and value tracking is off (batches carry no store
+            payloads).  Both paths produce bit-identical results.
         """
+        if args:
+            # Deprecation shim for the old positional signature
+            # run(workload, factory, num_threads, seed, record_traces,
+            # crash_plan, use_batches).  Remove after one release.
+            warnings.warn(
+                "passing Machine.run() options positionally is deprecated; "
+                "use keywords (num_threads=, seed=, record_traces=, "
+                "crash_plan=, use_batches=)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if len(args) > 5:
+                raise TypeError(
+                    f"Machine.run() takes at most 7 positional arguments "
+                    f"({3 + len(args)} given)"
+                )
+            legacy = (num_threads, seed, record_traces, crash_plan, use_batches)
+            patched = args + legacy[len(args):]
+            num_threads, seed, record_traces, crash_plan, use_batches = patched
         if num_threads < 1:
             raise ConfigurationError("num_threads must be >= 1")
-        self._crash_plan = crash_plan
+        self.arm_crash_plan(crash_plan)
+        if crash_plan is not None and crash_plan.at_site is not None:
+            use_batches = False
         batch_streams = None
         if use_batches is None:
             use_batches = not self.config.track_values
@@ -801,7 +1014,11 @@ class Machine:
         while heap:
             _, tid = heapq.heappop(heap)
             ctx = contexts[tid]
-            alive = runner(ctx, SCHED_BATCH)
+            try:
+                alive = runner(ctx, SCHED_BATCH)
+            except PowerFailure:
+                # A site-triggered crash; crashed_state is populated.
+                break
             if metrics is not None:
                 self._sample_metrics(ctx)
             if self.crashed_state is not None:
@@ -814,7 +1031,10 @@ class Machine:
                         f"thread {tid} stream ended inside a FASE "
                         f"(depth={ctx.fase_depth})"
                     )
-                ctx.technique.finish()
+                try:
+                    ctx.technique.finish()
+                except PowerFailure:
+                    break
                 ctx.alive = False
 
         if metrics is not None:

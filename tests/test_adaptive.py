@@ -16,7 +16,7 @@ def feed_pattern(controller, lines, fase=0):
 
 
 def test_decides_exactly_once_at_burst_end():
-    c = AdaptiveController(AdaptiveConfig(burst_length=40))
+    c = AdaptiveController(config=AdaptiveConfig(burst_length=40))
     pattern = (list(range(5)) * 100)
     size = feed_pattern(c, pattern)
     assert size is not None
@@ -27,7 +27,7 @@ def test_decides_exactly_once_at_burst_end():
 
 
 def test_selects_loop_size_knee():
-    c = AdaptiveController(AdaptiveConfig(burst_length=120))
+    c = AdaptiveController(config=AdaptiveConfig(burst_length=120))
     size = feed_pattern(c, list(range(10)) * 50)
     assert size in (10, 11)
     assert c.last_size == size
@@ -35,15 +35,15 @@ def test_selects_loop_size_knee():
 
 
 def test_sampling_flag_lifecycle():
-    c = AdaptiveController(AdaptiveConfig(burst_length=4))
+    c = AdaptiveController(config=AdaptiveConfig(burst_length=4))
     assert c.sampling
     feed_pattern(c, [1, 2, 1, 2])
     assert not c.sampling
 
 
 def test_analysis_cost_scales_with_burst():
-    small = AdaptiveController(AdaptiveConfig(burst_length=100))
-    large = AdaptiveController(AdaptiveConfig(burst_length=1000))
+    small = AdaptiveController(config=AdaptiveConfig(burst_length=100))
+    large = AdaptiveController(config=AdaptiveConfig(burst_length=1000))
     assert large.analysis_cost() == 10 * small.analysis_cost()
 
 
@@ -51,7 +51,7 @@ def test_fase_ids_respected():
     """Writes split across many tiny FASEs cannot be combined, so the
     controller should fall back to the knee-less maximum size."""
     cfg = AdaptiveConfig(burst_length=60)
-    c = AdaptiveController(cfg)
+    c = AdaptiveController(config=cfg)
     decision = None
     for i in range(60):
         decision = c.observe(i % 3, fase_id=i) or decision  # one write per FASE

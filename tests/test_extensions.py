@@ -31,7 +31,7 @@ def tile_workload(name, tile_lines, passes=8.0, tiles=4, fases=10, burst=4.0):
 
 def run(workload, technique, threads=1, **kw):
     machine = Machine(MachineConfig())
-    return machine.run(workload, make_factory(technique, **kw), threads, seed=0)
+    return machine.run(workload, make_factory(technique, **kw), num_threads=threads, seed=0)
 
 
 # ---------------------------------------------------------------------------

@@ -24,7 +24,7 @@ def cfg(**kw):
 
 def run(workload, technique, threads=1, seed=2, **kw):
     machine = Machine(MachineConfig())
-    return machine.run(workload, make_factory(technique, **kw), threads, seed=seed)
+    return machine.run(workload, make_factory(technique, **kw), num_threads=threads, seed=seed)
 
 
 def test_config_validation():

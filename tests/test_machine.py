@@ -26,7 +26,7 @@ class ListWorkload(Workload):
 def run(machine, *streams, technique="LA", threads=None, **kwargs):
     w = ListWorkload(*streams)
     return machine.run(
-        w, make_factory(technique), threads or len(streams), seed=0, **kwargs
+        w, make_factory(technique), num_threads=threads or len(streams), seed=0, **kwargs
     )
 
 
@@ -106,13 +106,13 @@ def test_two_threads_interleave_and_aggregate(machine):
 def test_wrong_stream_count_rejected(machine):
     w = ListWorkload([Work(1)])
     with pytest.raises(SimulationError):
-        machine.run(w, make_factory("LA"), 2, seed=0)
+        machine.run(w, make_factory("LA"), num_threads=2, seed=0)
 
 
 def test_thread_count_validation(machine):
     w = ListWorkload([Work(1)])
     with pytest.raises(ConfigurationError):
-        machine.run(w, make_factory("LA"), 0, seed=0)
+        machine.run(w, make_factory("LA"), num_threads=0, seed=0)
 
 
 def test_trace_recording(machine):

@@ -59,7 +59,7 @@ def run(events, technique):
     machine = Machine(MachineConfig())
     kwargs = {"sc_fixed_size": 4} if technique == "SC-offline" else {}
     result = machine.run(
-        ListWorkload(events), make_factory(technique, **kwargs), 1, seed=0
+        ListWorkload(events), make_factory(technique, **kwargs), num_threads=1, seed=0
     )
     return machine, result
 

@@ -11,7 +11,7 @@ from repro.workloads.msqueue import QueueWorkload
 
 def run(workload, technique, threads=1, **kw):
     machine = Machine(MachineConfig())
-    return machine.run(workload, make_factory(technique, **kw), threads, seed=3)
+    return machine.run(workload, make_factory(technique, **kw), num_threads=threads, seed=3)
 
 
 # ---------------------------------------------------------------------------

@@ -17,7 +17,7 @@ from repro.workloads.parray import PersistentArray
 
 def run(workload, technique, **kw):
     machine = Machine(MachineConfig())
-    return machine.run(workload, make_factory(technique, **kw), 1, seed=0)
+    return machine.run(workload, make_factory(technique, **kw), num_threads=1, seed=0)
 
 
 @pytest.fixture(scope="module")
@@ -78,7 +78,7 @@ def test_sc_offline_matches_lazy_bound(parray):
 
 def test_offline_selection_picks_26(parray):
     machine = Machine(MachineConfig())
-    res = machine.run(parray, make_factory("BEST"), 1, seed=0, record_traces=True)
+    res = machine.run(parray, make_factory("BEST"), num_threads=1, seed=0, record_traces=True)
     assert select_cache_size(mrc_from_trace(res.traces[0])) == 26
 
 

@@ -107,7 +107,7 @@ def test_software_cache_eviction_and_drain():
 
 def test_software_cache_adapts_and_resizes():
     cfg = AdaptiveConfig(burst_length=60)
-    t = SoftwareCacheTechnique(initial_size=4, controller=AdaptiveController(cfg))
+    t = SoftwareCacheTechnique(initial_size=4, controller=AdaptiveController(config=cfg))
     port = bind(t)
     for _ in range(12):
         for line in range(6):

@@ -116,3 +116,56 @@ def test_never_exceeds_capacity():
     for line in range(100):
         c.access(line)
         assert len(c) <= 3
+
+
+def test_snapshot_counters_and_invariants():
+    c = WriteCombiningCache(2)
+    for line in (1, 2, 1, 3):          # 1 hit, 3 misses, 1 capacity evict
+        c.access(line)
+    c.resize(1)                        # 1 resize evict
+    snap = c.snapshot()
+    assert snap == {
+        "capacity": 1,
+        "used": 1,
+        "accesses": 4,
+        "hits": 1,
+        "misses": 3,
+        "evictions": 2,
+        "resize_evictions": 1,
+        "drains": 0,
+    }
+    assert c.accesses == c.hits + c.misses
+
+
+def test_snapshot_detects_corrupted_counters():
+    from repro.common.errors import SimulationError
+
+    c = WriteCombiningCache(2)
+    c.access(1)
+    c.hits = -1                        # simulate counter corruption
+    with pytest.raises(SimulationError):
+        c.snapshot()
+    c = WriteCombiningCache(2)
+    c.access(1)
+    c.evictions = 5                    # capacity evictions without misses
+    with pytest.raises(SimulationError):
+        c.snapshot()
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(st.integers(min_value=0, max_value=12), min_size=1, max_size=120),
+    st.integers(min_value=1, max_value=6),
+    st.integers(min_value=1, max_value=6),
+)
+def test_snapshot_invariants_hold_under_random_traffic(lines, cap1, cap2):
+    c = WriteCombiningCache(cap1)
+    mid = len(lines) // 2
+    for line in lines[:mid]:
+        c.access(line)
+    c.resize(cap2)
+    for line in lines[mid:]:
+        c.access(line)
+    c.drain()
+    snap = c.snapshot()               # raises if any identity breaks
+    assert snap["accesses"] == len(lines)
