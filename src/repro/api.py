@@ -162,14 +162,17 @@ def campaign(
     commit_before_drain: bool = False,
     cache_dir: Optional[str] = None,
     recorder: Optional[object] = None,
+    metrics: Optional[object] = None,
     progress=None,
 ) -> CrashMatrix:
     """Run a fault-injection campaign over ``spec``'s configuration.
 
     ``faults`` defaults to a clean-power-cut sweep
     (:class:`FaultSpec`); ``commit_before_drain`` is the deliberate
-    ordering violation used as the oracle's negative control.  Returns
-    the :class:`~repro.faults.campaign.CrashMatrix` of verdicts.
+    ordering violation used as the oracle's negative control.
+    ``recorder``/``metrics`` attach the observability layer to the
+    in-process replays (see :func:`repro.faults.run_campaign`).
+    Returns the :class:`~repro.faults.campaign.CrashMatrix` of verdicts.
     """
     return run_campaign(
         spec.workload,
@@ -184,5 +187,6 @@ def campaign(
         commit_before_drain=commit_before_drain,
         cache_dir=cache_dir,
         recorder=recorder,
+        metrics=metrics,
         progress=progress,
     )

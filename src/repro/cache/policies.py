@@ -187,7 +187,11 @@ class SoftwareCacheTechnique(PersistenceTechnique):
         port = self.port
         port.record_selected_size(new_size)
         for evicted in self.cache.resize(new_size):
-            port.flush_async(evicted, "eviction", invalidate=not self.use_clwb)
+            # Distinct category so the trace can attribute these to the
+            # resize rather than to capacity pressure; the machine still
+            # counts them as eviction flushes (same site class, same
+            # RunResult totals).
+            port.flush_async(evicted, "resize_eviction", invalidate=not self.use_clwb)
 
     def on_store(self, line: int) -> None:
         port = self.port

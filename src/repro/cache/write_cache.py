@@ -30,6 +30,7 @@ class WriteCombiningCache:
         "misses",
         "evictions",
         "resize_evictions",
+        "resizes",
         "drains",
     )
 
@@ -42,6 +43,7 @@ class WriteCombiningCache:
         self.misses = 0
         self.evictions = 0
         self.resize_evictions = 0
+        self.resizes = 0
         self.drains = 0
 
     def __len__(self) -> int:
@@ -109,6 +111,7 @@ class WriteCombiningCache:
             evicted.append(self._lru.evict_lru())
         self.evictions += len(evicted)
         self.resize_evictions += len(evicted)
+        self.resizes += 1
         self.capacity = capacity
         return evicted
 
@@ -141,6 +144,7 @@ class WriteCombiningCache:
             "misses": self.misses,
             "evictions": self.evictions,
             "resize_evictions": self.resize_evictions,
+            "resizes": self.resizes,
             "drains": self.drains,
         }
         if any(v < 0 for v in snap.values()):
@@ -157,6 +161,11 @@ class WriteCombiningCache:
                 f"write-cache accounting broken: "
                 f"{snap['evictions'] - snap['resize_evictions']} capacity "
                 f"evictions exceed {snap['misses']} misses"
+            )
+        if snap["resize_evictions"] > 0 and snap["resizes"] == 0:
+            raise SimulationError(
+                f"write-cache accounting broken: "
+                f"{snap['resize_evictions']} resize evictions with no resize"
             )
         if snap["used"] > snap["capacity"]:
             raise SimulationError(

@@ -30,6 +30,19 @@ injected crash violated FASE atomicity — so CI can gate on it::
 
     python -m repro.experiments crashmatrix --workloads linked-list \\
         --fault-models clean,torn_line --max-sites 128 --out matrix.json
+
+Crash replays are profilable too: ``--trace``/``--metrics`` attach the
+observability layer to the in-process replays (a campaign served whole
+from ``--cache-dir`` performs none, leaving both empty).
+
+The ``profile`` pseudo-artifact analyzes a recorded JSONL trace offline
+(flush provenance, FASE latency, controller diagnostics — DESIGN.md
+§11), prints the markdown profile, and optionally writes ``--json`` /
+``--html`` reports; ``tracediff`` aligns two traces and reports their
+deltas under ``--tolerance``::
+
+    python -m repro.experiments profile --trace run.jsonl --html report.html
+    python -m repro.experiments tracediff --trace a.jsonl --trace b.jsonl
 """
 
 from __future__ import annotations
@@ -85,6 +98,84 @@ def _run_traced(harness: Harness, args: argparse.Namespace) -> int:
     return 0
 
 
+def _severity_gate(diagnoses, fail_on: str) -> int:
+    """Exit code for a diagnosis list under the ``--fail-on`` policy."""
+    from repro.obs.analyze import SEVERITIES, max_severity
+
+    if fail_on == "never":
+        return 0
+    worst = max_severity(diagnoses)
+    if worst is None:
+        return 0
+    return 1 if SEVERITIES.index(worst) >= SEVERITIES.index(fail_on) else 0
+
+
+def _run_profile(args: argparse.Namespace) -> int:
+    """The ``profile`` pseudo-artifact: offline trace analytics."""
+    import json
+
+    from repro.obs import analyze, read_jsonl
+    from repro.obs import report as obs_report
+
+    if not args.trace or len(args.trace) != 1:
+        print("profile needs exactly one --trace PATH (a .jsonl trace)",
+              file=sys.stderr)
+        return 2
+    path = args.trace[0]
+    profile = analyze(read_jsonl(path))
+    metrics_doc = None
+    if args.metrics:
+        with open(args.metrics, "r", encoding="utf-8") as fh:
+            metrics_doc = json.load(fh)
+    print(obs_report.render_markdown(profile, title=f"Trace profile: {path}"))
+    if args.json_out:
+        obs_report.write_text(args.json_out, profile.to_json())
+        print(f"wrote {args.json_out}", file=sys.stderr)
+    if args.html:
+        obs_report.write_text(
+            args.html,
+            obs_report.render_html(
+                profile, title=f"Trace profile: {path}", metrics_doc=metrics_doc
+            ),
+        )
+        print(f"wrote {args.html}", file=sys.stderr)
+    return _severity_gate(profile.diagnoses, args.fail_on)
+
+
+def _run_tracediff(args: argparse.Namespace) -> int:
+    """The ``tracediff`` pseudo-artifact: cross-run profile deltas."""
+    import json
+
+    from repro.obs import DiffTolerances, analyze, diff_profiles, read_jsonl
+    from repro.obs import report as obs_report
+
+    if not args.trace or len(args.trace) != 2:
+        print("tracediff needs exactly two --trace PATH arguments",
+              file=sys.stderr)
+        return 2
+    path_a, path_b = args.trace
+    diff = diff_profiles(
+        analyze(read_jsonl(path_a)),
+        analyze(read_jsonl(path_b)),
+        DiffTolerances(ratio_pct=args.tolerance),
+    )
+    print(obs_report.render_diff_text(diff, label_a=path_a, label_b=path_b))
+    if args.json_out:
+        obs_report.write_text(
+            args.json_out, json.dumps(diff, sort_keys=True, indent=1) + "\n"
+        )
+        print(f"wrote {args.json_out}", file=sys.stderr)
+    if args.html:
+        obs_report.write_text(
+            args.html,
+            obs_report.render_diff_html(diff, label_a=path_a, label_b=path_b),
+        )
+        print(f"wrote {args.html}", file=sys.stderr)
+    if diff["verdict"] == "incomparable":
+        return 2
+    return 0 if diff["verdict"] == "ok" else 1
+
+
 def _run_crashmatrix(args: argparse.Namespace) -> int:
     """The ``crashmatrix`` pseudo-artifact: fault-injection campaigns."""
     import json
@@ -105,6 +196,11 @@ def _run_crashmatrix(args: argparse.Namespace) -> int:
         from repro.obs.trace import TraceRecorder
 
         recorder = TraceRecorder()
+    metrics = None
+    if args.metrics:
+        from repro.obs.metrics import MetricsRegistry
+
+        metrics = MetricsRegistry(interval=args.metrics_interval)
 
     matrices = []
     for workload in workloads:
@@ -121,6 +217,7 @@ def _run_crashmatrix(args: argparse.Namespace) -> int:
                 faults,
                 cache_dir=args.cache_dir,
                 recorder=recorder,
+                metrics=metrics,
                 progress=lambda done, total: print(
                     f"[{done}/{total}] {workload}/{technique}", file=sys.stderr
                 ),
@@ -141,6 +238,9 @@ def _run_crashmatrix(args: argparse.Namespace) -> int:
             else:
                 recorder.write_chrome(path)
             print(f"wrote {path}", file=sys.stderr)
+    if metrics is not None:
+        metrics.write_json(args.metrics)
+        print(f"wrote {args.metrics}", file=sys.stderr)
 
     violated = sum(len(m.violations) for m in matrices)
     total = sum(m.injected for m in matrices)
@@ -162,9 +262,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "artifact",
-        choices=sorted(GENERATORS) + ["all", "crashmatrix", "run"],
+        choices=sorted(GENERATORS)
+        + ["all", "crashmatrix", "profile", "run", "tracediff"],
         help="which table/figure to regenerate, 'run' for one traced "
-        "cell, or 'crashmatrix' for fault-injection campaigns",
+        "cell, 'crashmatrix' for fault-injection campaigns, 'profile' "
+        "to analyze a recorded trace, or 'tracediff' to compare two",
     )
     parser.add_argument(
         "--scale",
@@ -221,7 +323,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--metrics",
         default=None,
         metavar="PATH",
-        help="dump the sampled metrics registry as JSON",
+        help="'run'/'crashmatrix': dump the sampled metrics registry as "
+        "JSON; 'profile': read such a dump and chart it in the report",
     )
     tracing.add_argument(
         "--metrics-interval",
@@ -229,6 +332,34 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=10_000,
         metavar="N",
         help="model cycles between metric samples (default 10000)",
+    )
+    analytics = parser.add_argument_group("'profile' / 'tracediff' (analytics)")
+    analytics.add_argument(
+        "--json",
+        dest="json_out",
+        default=None,
+        metavar="PATH",
+        help="write the profile (or diff) as deterministic JSON",
+    )
+    analytics.add_argument(
+        "--html",
+        default=None,
+        metavar="PATH",
+        help="write the self-contained HTML report",
+    )
+    analytics.add_argument(
+        "--fail-on",
+        choices=["error", "warning", "never"],
+        default="error",
+        help="'profile': exit non-zero on a diagnosis at or above this "
+        "severity (default error)",
+    )
+    analytics.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.5,
+        metavar="PCT",
+        help="'tracediff': allowed relative drift in percent (default 0.5)",
     )
     crash = parser.add_argument_group("'crashmatrix' (fault injection)")
     crash.add_argument(
@@ -273,6 +404,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     start = time.time()
+    if args.artifact == "profile":
+        return _run_profile(args)
+    if args.artifact == "tracediff":
+        return _run_tracediff(args)
     if args.artifact == "crashmatrix":
         rc = _run_crashmatrix(args)
         print(f"\n[{time.time() - start:.1f}s]", file=sys.stderr)

@@ -17,6 +17,13 @@ of committed files is a perf trajectory across PRs.  Three benches:
     (§III-B's all-window counting) on a synthetic interval set, in
     intervals/second.
 
+``analyzer``
+    Throughput of the offline trace analyzer
+    (:func:`repro.obs.analyze.analyze`) on a deterministic synthetic
+    trace mixing every event kind, in events/second.  Guards the
+    one-pass fold: a per-event-object rewrite would show up here long
+    before it hurts anyone profiling a real run.
+
 ``harness``
     End-to-end wall clock of a Figure-4 subset grid three ways: a fresh
     sequential sweep, ``run_grid(..., jobs=N)`` on fresh harnesses, and
@@ -81,6 +88,9 @@ SIM_CASES = (
 #: reuse_counts bench: synthetic reuse intervals over a pinned trace.
 REUSE_N = 500_000
 REUSE_INTERVALS = 250_000
+
+#: analyzer bench: synthetic trace length (events).
+ANALYZER_EVENTS = 100_000
 
 #: Harness bench: a Figure-4 subset (single-thread speedups over ER).
 HARNESS_SCALE = 0.5
@@ -156,6 +166,70 @@ def bench_reuse_counts(n: int, intervals: int, reps: int) -> Dict:
     }
 
 
+def _synthetic_trace(n: int):
+    """A deterministic ``n``-event trace exercising every analyzer path.
+
+    An LCG stands in for randomness (the shape must be pinned, not
+    sampled): interleaved FASE spans on four threads, evict flushes over
+    a skewed line set, stalls, attributed drains, and a controller
+    narrative long enough to trip the oscillation detector — the
+    worst-case (every-branch) profile for the one-pass fold.
+    """
+    from repro.obs.trace import (
+        EV_DRAIN,
+        EV_EVICT_FLUSH,
+        EV_FASE_BEGIN,
+        EV_FASE_END,
+        EV_KNEE_CANDIDATE,
+        EV_MRC_COMPUTED,
+        EV_SIZE_SELECTED,
+        EV_STALL,
+        TraceRecorder,
+    )
+
+    rec = TraceRecorder()
+    state = BENCH_SEED
+    uid = 0
+    open_uid = [-1, -1, -1, -1]
+    while len(rec) < n:
+        state = (state * 6364136223846793005 + 1442695040888963407) % (1 << 64)
+        pick = (state >> 32) % 100
+        tid = (state >> 16) % 4
+        t = len(rec) * 7
+        if pick < 55:
+            rec.record(EV_EVICT_FLUSH, tid, t, (state >> 8) % 997, 1, int(pick < 5))
+        elif pick < 70:
+            if open_uid[tid] < 0:
+                open_uid[tid] = uid = uid + 1
+                rec.record(EV_FASE_BEGIN, tid, t, uid)
+            else:
+                rec.record(EV_FASE_END, tid, t, open_uid[tid])
+                rec.record(EV_DRAIN, tid, t, pick, 2, open_uid[tid])
+                open_uid[tid] = -1
+        elif pick < 85:
+            rec.record(EV_STALL, tid, t, pick, pick % 2)
+        else:
+            size = 4 if (state >> 40) % 2 else 8
+            rec.record(EV_MRC_COMPUTED, tid, t, 1000, 1)
+            rec.record(EV_KNEE_CANDIDATE, tid, t, size, 0)
+            rec.record(EV_SIZE_SELECTED, tid, t, size)
+    return rec
+
+
+def bench_analyzer(events: int, reps: int) -> Dict:
+    """Events/second of the offline analyzer's one-pass fold."""
+    from repro.obs.analyze import analyze
+
+    rec = _synthetic_trace(events)
+    n = len(rec)
+    best = _best_of(reps, lambda: analyze(rec))
+    return {
+        "events": n,
+        "best_s": round(best, 4),
+        "events_per_sec": round(n / best),
+    }
+
+
 def bench_harness(scale: float, jobs: int) -> Dict:
     """Figure-4-subset wall clock: sequential, ``jobs=N``, warm cache.
 
@@ -224,6 +298,7 @@ def run_suite(
     harness_scale = 0.05 if quick else HARNESS_SCALE
     reuse_n = 100_000 if quick else REUSE_N
     reuse_intervals = 50_000 if quick else REUSE_INTERVALS
+    analyzer_events = 20_000 if quick else ANALYZER_EVENTS
     return {
         "suite_version": SUITE_VERSION,
         "schema_version": BENCH_SCHEMA_VERSION,
@@ -241,6 +316,7 @@ def run_suite(
             float(np.exp(np.mean([np.log(r["speedup"]) for r in sim]))), 2
         ),
         "reuse_counts": bench_reuse_counts(reuse_n, reuse_intervals, reps),
+        "analyzer": bench_analyzer(analyzer_events, reps),
         "harness": bench_harness(harness_scale, jobs),
     }
 

@@ -12,10 +12,13 @@ Rules:
 - Documents must share a ``schema_version``; files written before the
   field existed are schema 1 (the row shape is unchanged).  Cross-schema
   diffs are refused (exit code 2) rather than silently misread.
-- The gated metric is ``batched_eps`` (events/second on the batched
-  fast path), geometric mean over the (workload, technique) cases both
-  documents measured.  ``per_event_eps`` and the reuse-accumulator
-  throughput ride along as informational rows.
+- The gated metrics are ``batched_eps`` (events/second on the batched
+  fast path, geometric mean over the (workload, technique) cases both
+  documents measured) and — when both documents carry an ``analyzer``
+  section — the trace analyzer's events/second.  ``per_event_eps`` and
+  the reuse-accumulator throughput ride along as informational rows;
+  a baseline written before the analyzer bench existed is still
+  comparable (the analyzer gate is skipped with a note).
 - Quick-mode documents use smaller pinned scales, so a quick-vs-full
   diff is flagged in the report; the throughput comparison stays
   meaningful (events/second, not wall clock) but CI should pair it with
@@ -115,16 +118,38 @@ def compare(
             new["reuse_counts"]["intervals_per_sec"]
             / base["reuse_counts"]["intervals_per_sec"]
         )
+    analyzer_ratio: Optional[float] = None
+    analyzer_regress_pct: Optional[float] = None
+    if "analyzer" in base and "analyzer" in new:
+        analyzer_ratio = (
+            new["analyzer"]["events_per_sec"] / base["analyzer"]["events_per_sec"]
+        )
+        analyzer_regress_pct = (1.0 - analyzer_ratio) * 100.0
+    else:
+        missing = [
+            label
+            for label, doc in (("base", base), ("new", new))
+            if "analyzer" not in doc
+        ]
+        notes.append(
+            f"no analyzer bench in {'/'.join(missing)} (older document); "
+            f"analyzer throughput not gated"
+        )
 
+    ok = regress_pct <= max_regress and (
+        analyzer_regress_pct is None or analyzer_regress_pct <= max_regress
+    )
     return {
         "schema_version": base_schema,
         "cases": cases,
         "batched_geomean": batched_geomean,
         "per_event_geomean": per_event_geomean,
         "reuse_ratio": reuse_ratio,
+        "analyzer_ratio": analyzer_ratio,
+        "analyzer_regress_pct": analyzer_regress_pct,
         "regress_pct": regress_pct,
         "max_regress": max_regress,
-        "ok": regress_pct <= max_regress,
+        "ok": ok,
         "notes": notes,
     }
 
@@ -155,6 +180,12 @@ def format_report(verdict: Dict) -> str:
     ]
     if verdict["reuse_ratio"] is not None:
         lines.append(f"reuse_counts       {verdict['reuse_ratio']:.3f}x")
+    if verdict.get("analyzer_ratio") is not None:
+        lines.append(
+            f"analyzer           {verdict['analyzer_ratio']:.3f}x "
+            f"(regression {verdict['analyzer_regress_pct']:+.1f}%, "
+            f"threshold {verdict['max_regress']:.1f}%)"
+        )
     for note in verdict["notes"]:
         lines.append(f"note: {note}")
     lines.append("PASS" if verdict["ok"] else "FAIL: throughput regression")

@@ -230,6 +230,7 @@ def run_campaign(
     commit_before_drain: bool = False,
     cache_dir: Optional[str] = None,
     recorder: Optional[object] = None,
+    metrics: Optional[object] = None,
     progress=None,
 ) -> CrashMatrix:
     """Run one fault-injection campaign; see the module docstring.
@@ -239,6 +240,12 @@ def run_campaign(
     cannot partition over ``threads`` runs single-threaded instead —
     the hash benchmark, for one, is single-threaded by construction.
     ``progress(done, total)`` is called after every injected crash.
+
+    ``recorder``/``metrics`` attach the observability layer to the
+    replays this process performs (the golden run, plus every crash
+    replay when ``spec.jobs == 1``; worker processes never ship their
+    observability home).  A campaign served whole from the on-disk
+    cache performs no replays at all, so both stay empty then.
     """
     spec = spec or FaultCampaignSpec()
     if isinstance(workload, str):
@@ -291,7 +298,9 @@ def run_campaign(
         technique_options=technique_options,
         commit_before_drain=commit_before_drain,
     )
-    driver = AtlasReplayDriver(workload, recorder=recorder, **driver_kwargs)
+    driver = AtlasReplayDriver(
+        workload, recorder=recorder, metrics=metrics, **driver_kwargs
+    )
     golden = driver.golden()
     enumerator = CrashPointEnumerator(
         golden.sites,

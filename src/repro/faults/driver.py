@@ -112,6 +112,7 @@ class AtlasReplayDriver:
         technique_options: Optional[Dict[str, object]] = None,
         commit_before_drain: bool = False,
         recorder: Optional[object] = None,
+        metrics: Optional[object] = None,
     ) -> None:
         if num_threads < 1:
             raise ConfigurationError("num_threads must be >= 1")
@@ -125,6 +126,7 @@ class AtlasReplayDriver:
         self.technique_options = dict(technique_options or {})
         self.commit_before_drain = commit_before_drain
         self.recorder = recorder
+        self.metrics = metrics
         self._events: Optional[List[List[object]]] = None
 
     # ------------------------------------------------------------------
@@ -157,6 +159,7 @@ class AtlasReplayDriver:
                 track_values=True,
             ),
             recorder=self.recorder,
+            metrics=self.metrics,
         )
         regions = RegionManager()
         runtimes = [
@@ -192,6 +195,7 @@ class AtlasReplayDriver:
         kind_work = EventKind.WORK
         kind_begin = EventKind.FASE_BEGIN
         nvram_base = NVRAM_BASE
+        sampling = machine.metrics is not None
         heap: List[Tuple[int, int]] = [(0, tid) for tid in range(self.num_threads)]
         heapq.heapify(heap)
         while heap:
@@ -259,10 +263,16 @@ class AtlasReplayDriver:
                     else:
                         rt.fases.end()
             positions[tid] = pos
+            if sampling:
+                # Sessions have no Machine.run scheduler loop, so the
+                # replay samples at its own quantum boundaries instead.
+                rt.session.sample_metrics()
             if pos < len(stream):
                 heapq.heappush(heap, (rt.stats.cycles, tid))
             else:
                 rt.finish()
+                if sampling:
+                    rt.session.record_final_metrics()
 
     # ------------------------------------------------------------------
 

@@ -72,6 +72,7 @@ SCHED_BATCH = 64
 #: point, and it gets its own :data:`~repro.nvram.failure.SITE_DRAIN`.
 _FLUSH_SITE = {
     "eviction": SITE_EVICT_FLUSH,
+    "resize_eviction": SITE_EVICT_FLUSH,
     "log": SITE_LOG_APPEND,
     "commit": SITE_COMMIT,
 }
@@ -129,7 +130,7 @@ class FlushPort:
         ctx = self._ctx
         for line in lines:
             machine._do_flush(ctx, line, category, invalidate)
-        machine._do_drain(ctx)
+        machine._do_drain(ctx, category)
 
     # -- bookkeeping -----------------------------------------------------
 
@@ -150,11 +151,18 @@ class FlushPort:
         """Log an adaptive cache-size decision."""
         ctx = self._ctx
         ctx.stats.selected_sizes.append(size)
-        rec = self._machine.recorder
+        machine = self._machine
+        if machine.metrics is not None:
+            # The post-adaptation gauge series starts at the thread's
+            # *first* selection (see Machine._sample_metrics).
+            tid = ctx.thread_id
+            machine._selected_size[tid] = size
+            machine._first_selection.setdefault(tid, ctx.stats.cycles)
+        rec = machine.recorder
         if rec.enabled:
             rec.record(EV_SIZE_SELECTED, ctx.thread_id, ctx.stats.cycles, size)
 
-    def record_event(self, kind: str, a: int = 0, b: int = 0) -> None:
+    def record_event(self, kind: str, a: int = 0, b: int = 0, c: int = 0) -> None:
         """Emit one structured trace event at the thread's current time.
 
         A no-op when tracing is off — techniques and controllers call
@@ -164,7 +172,7 @@ class FlushPort:
         rec = self._machine.recorder
         if rec.enabled:
             ctx = self._ctx
-            rec.record(kind, ctx.thread_id, ctx.stats.cycles, a, b)
+            rec.record(kind, ctx.thread_id, ctx.stats.cycles, a, b, c)
 
     # -- context ---------------------------------------------------------
 
@@ -191,6 +199,7 @@ class _ThreadContext:
         "port",
         "fase_depth",
         "fase_uid",
+        "commit_fase_uid",
         "next_fase_uid",
         "trace_lines",
         "trace_fids",
@@ -221,6 +230,11 @@ class _ThreadContext:
         self.port: Optional[FlushPort] = None
         self.fase_depth = 0
         self.fase_uid = -1
+        # Uid of the FASE currently committing: set just before the
+        # technique's on_fase_end() runs (the drain it triggers happens
+        # at depth 0, after fase_uid stops being "current"), cleared
+        # implicitly by the next FASE.  -1 outside any commit.
+        self.commit_fase_uid = -1
         # FASE uids unique across threads: thread_id in the high bits.
         self.next_fase_uid = thread_id << 40
         self.trace_lines: Optional[List[int]] = [] if record_trace else None
@@ -281,6 +295,10 @@ class Machine:
         self.recorder = recorder if recorder is not None else NULL_RECORDER
         self.metrics = metrics
         self._metrics_prev: dict = {}
+        # Post-adaptation gauge state: thread id -> cycle of its first
+        # size selection / its current selected size (metrics only).
+        self._first_selection: dict = {}
+        self._selected_size: dict = {}
         self._stores_seen = 0
         self._crash_plan: Optional[CrashPlan] = None
         self.crashed_state: Optional[CrashedState] = None
@@ -394,7 +412,10 @@ class Machine:
         stats.cycles += t.flush_issue
         stats.instructions += 1
         stats.flushes += 1
-        if category == "eviction":
+        if category == "eviction" or category == "resize_eviction":
+            # Resize-forced evictions stay in the eviction counter (the
+            # RunResult schema is unchanged); the trace's resize_evict
+            # flag below is what distinguishes them.
             stats.eviction_flushes += 1
         elif category == "fase_end":
             stats.fase_end_flushes += 1
@@ -419,9 +440,14 @@ class Machine:
             stats.stall_cycles += stall
         rec = self.recorder
         if rec.enabled:
-            if category == "eviction":
+            if category == "eviction" or category == "resize_eviction":
                 rec.record(
-                    EV_EVICT_FLUSH, ctx.thread_id, stats.cycles, line, int(dirty)
+                    EV_EVICT_FLUSH,
+                    ctx.thread_id,
+                    stats.cycles,
+                    line,
+                    int(dirty),
+                    int(category == "resize_eviction"),
                 )
             if stall:
                 rec.record(EV_STALL, ctx.thread_id, stats.cycles, stall, 0)
@@ -437,7 +463,7 @@ class Machine:
             if site is not None:
                 self._note_site(ctx, site)
 
-    def _do_drain(self, ctx: _ThreadContext) -> None:
+    def _do_drain(self, ctx: _ThreadContext, category: str = "final") -> None:
         stats = ctx.stats
         rec = self.recorder
         outstanding = ctx.flushq.outstanding if rec.enabled else 0
@@ -445,7 +471,13 @@ class Machine:
         stats.cycles = now
         stats.stall_cycles += stall
         if rec.enabled:
-            rec.record(EV_DRAIN, ctx.thread_id, stats.cycles, stall, outstanding)
+            # A FASE-boundary drain is attributed to the committing FASE
+            # (commit_fase_uid: fase_depth is already 0 here); uid 0 is a
+            # valid FASE, so "no FASE" is explicitly -1.
+            fase_id = ctx.commit_fase_uid if category == "fase_end" else -1
+            rec.record(
+                EV_DRAIN, ctx.thread_id, stats.cycles, stall, outstanding, fase_id
+            )
         # The queue is empty: every write-back this thread had in flight
         # is durable, so none of its records remain droppable.
         if self._record_inflight and self._fault_inflight:
@@ -697,6 +729,7 @@ class Machine:
                             )
                         ctx.fase_depth -= 1
                         if ctx.fase_depth == 0:
+                            ctx.commit_fase_uid = ctx.fase_uid
                             stats.cycles = cycles
                             technique.on_fase_end()
                             cycles = stats.cycles
@@ -800,6 +833,7 @@ class Machine:
                 )
             ctx.fase_depth -= 1
             if ctx.fase_depth == 0:
+                ctx.commit_fase_uid = ctx.fase_uid
                 technique.on_fase_end()
                 stats.fase_count += 1
                 rec = self.recorder
@@ -840,6 +874,30 @@ class Machine:
         m.sample(
             f"flush_ratio/{key}", now, d_flushes / d_stores if d_stores else 0.0
         )
+        # Post-adaptation gauge: exists only once the thread has selected
+        # a size.  Its own due-schedule starts at the selection cycle, so
+        # the series never backfills a phantom sample at cycle 0.
+        first = self._first_selection.get(tid)
+        if first is not None and m.due(("selected_size", tid), now, start=first):
+            m.sample(f"selected_size/{key}", now, self._selected_size[tid])
+
+    def _final_metrics(self, ctx: _ThreadContext) -> None:
+        """Dump one thread's run totals into the registry as counters.
+
+        Final totals land as counters so one registry dump is
+        self-describing without the matching RunResult in hand.  Called
+        by ``run`` for every thread, and by
+        :meth:`MachineSession.record_final_metrics` for session-driven
+        execution (e.g. crash-campaign replays).
+        """
+        m = self.metrics
+        s = ctx.stats
+        key = f"t{ctx.thread_id}"
+        m.inc(f"flushes/{key}", s.flushes)
+        m.inc(f"persistent_stores/{key}", s.persistent_stores)
+        m.inc(f"stall_cycles/{key}", s.stall_cycles)
+        m.inc(f"fase_count/{key}", s.fase_count)
+        m.set_gauge(f"cycles/{key}", s.cycles)
 
     def _crash(
         self, site: Optional[int] = None, site_class: Optional[str] = None
@@ -1038,16 +1096,8 @@ class Machine:
                 ctx.alive = False
 
         if metrics is not None:
-            # Final run totals land as counters, so one registry dump is
-            # self-describing without the matching RunResult in hand.
             for ctx in contexts:
-                s = ctx.stats
-                key = f"t{ctx.thread_id}"
-                metrics.inc(f"flushes/{key}", s.flushes)
-                metrics.inc(f"persistent_stores/{key}", s.persistent_stores)
-                metrics.inc(f"stall_cycles/{key}", s.stall_cycles)
-                metrics.inc(f"fase_count/{key}", s.fase_count)
-                metrics.set_gauge(f"cycles/{key}", s.cycles)
+                self._final_metrics(ctx)
 
         traces = None
         if record_traces:
@@ -1161,6 +1211,28 @@ class MachineSession:
         if self._ctx.trace_lines is None:
             return None
         return WriteTrace(self._ctx.trace_lines, self._ctx.trace_fids)
+
+    # -- metrics -----------------------------------------------------------
+
+    def sample_metrics(self) -> None:
+        """Sample this thread's gauge series if its interval elapsed.
+
+        Session-driven code has no scheduler quantum, so drivers call
+        this at their own natural boundaries (e.g. between replayed
+        operations).  A no-op without a metrics registry.
+        """
+        if self.machine.metrics is not None:
+            self.machine._sample_metrics(self._ctx)
+
+    def record_final_metrics(self) -> None:
+        """Dump this thread's run totals into the metrics registry.
+
+        The session twin of the end-of-run counter dump ``Machine.run``
+        performs; call once when the session's work is done.  A no-op
+        without a metrics registry.
+        """
+        if self.machine.metrics is not None:
+            self.machine._final_metrics(self._ctx)
 
     def finish(self) -> None:
         """Close the session: drain the technique's remaining lines."""

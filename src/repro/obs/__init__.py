@@ -1,9 +1,15 @@
-"""Observability for the simulator: structured traces and metrics.
+"""Observability for the simulator: traces, metrics and analytics.
 
 - :mod:`repro.obs.trace` — typed event recording with model-time
   timestamps, exportable as JSONL and Chrome ``trace_event`` (Perfetto).
 - :mod:`repro.obs.metrics` — counters, gauges and interval-sampled time
   series (cache occupancy, flush-queue depth, rolling flush ratio).
+- :mod:`repro.obs.analyze` — offline trace analytics: flush provenance,
+  FASE latency profiles, adaptive-controller diagnostics, cross-run
+  diffs (DESIGN.md §11).
+- :mod:`repro.obs.report` — markdown / self-contained-HTML rendering of
+  those profiles (re-exported lazily: it imports the experiment
+  harness's SVG renderer, which the simulator must not depend on).
 - :mod:`repro.obs.runner` — ``traced_run``: one harness cell executed
   with a live recorder/registry (the ``repro.experiments run`` CLI).
 
@@ -12,6 +18,16 @@ Tracing is strictly opt-in: machines default to the shared
 simulator loop on its allocation-free fast path (DESIGN.md §9).
 """
 
+from repro.obs.analyze import (
+    AnalyzerConfig,
+    Diagnosis,
+    DiffTolerances,
+    TraceProfile,
+    analyze,
+    diff_profiles,
+    max_severity,
+    reconcile,
+)
 from repro.obs.metrics import DEFAULT_INTERVAL, MetricsRegistry
 from repro.obs.trace import (
     ARG_NAMES,
@@ -26,14 +42,31 @@ from repro.obs.trace import (
     EV_STALL,
     EVENT_KINDS,
     NULL_RECORDER,
+    TRACE_SCHEMA_VERSION,
     NullRecorder,
     TraceEvent,
     TraceRecorder,
+    parse_jsonl,
+    read_jsonl,
+)
+
+#: Names served lazily from repro.obs.report (see module docstring).
+_REPORT_EXPORTS = frozenset(
+    {
+        "render_markdown",
+        "render_html",
+        "render_diff_text",
+        "render_diff_html",
+        "write_text",
+    }
 )
 
 __all__ = [
     "ARG_NAMES",
+    "AnalyzerConfig",
     "DEFAULT_INTERVAL",
+    "Diagnosis",
+    "DiffTolerances",
     "EVENT_KINDS",
     "EV_BURST_START",
     "EV_DRAIN",
@@ -47,6 +80,27 @@ __all__ = [
     "MetricsRegistry",
     "NULL_RECORDER",
     "NullRecorder",
+    "TRACE_SCHEMA_VERSION",
     "TraceEvent",
+    "TraceProfile",
     "TraceRecorder",
+    "analyze",
+    "diff_profiles",
+    "max_severity",
+    "parse_jsonl",
+    "read_jsonl",
+    "reconcile",
+    "render_diff_html",
+    "render_diff_text",
+    "render_html",
+    "render_markdown",
+    "write_text",
 ]
+
+
+def __getattr__(name: str):
+    if name in _REPORT_EXPORTS:
+        from repro.obs import report
+
+        return getattr(report, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

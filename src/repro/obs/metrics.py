@@ -49,14 +49,22 @@ class MetricsRegistry:
 
     # -- time series -----------------------------------------------------
 
-    def due(self, key: object, now: int) -> bool:
+    def due(self, key: object, now: int, start: int = 0) -> bool:
         """True when ``key``'s next sample interval has been reached.
 
         Advances the key's schedule as a side effect, so each sampling
         site pays one dict lookup per quantum and records at most one
         point per ``interval`` cycles.
+
+        ``start`` anchors an *unseen* key's schedule: a series that
+        begins mid-run (e.g. a post-adaptation gauge) passes the cycle
+        it came into existence, so its first sample falls at or after
+        that cycle instead of backfilling a phantom point scheduled
+        from cycle 0.  Ignored once the key has a schedule.
         """
-        nxt = self._next_due.get(key, 0)
+        nxt = self._next_due.get(key)
+        if nxt is None:
+            nxt = start
         if now < nxt:
             return False
         self._next_due[key] = now + self.interval

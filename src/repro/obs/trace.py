@@ -6,16 +6,20 @@ carries a **model-time timestamp** (the issuing thread's cycle clock), a
 thread id and up to two integer arguments, appended to parallel arrays —
 no per-event object allocation, no dictionaries on the hot path.
 
-Event taxonomy (see DESIGN.md §9):
+Event taxonomy (see DESIGN.md §9, §11):
 
 ==============  ========================================================
 ``fase_begin``  an outermost FASE opened (``a`` = fase uid)
 ``fase_end``    it committed — recorded *after* the technique's
                 end-of-FASE drain, so B/E spans include the drain stall
 ``evict_flush`` the software cache evicted a line (``a`` = line,
-                ``b`` = 1 if the hardware line was dirty)
+                ``b`` = 1 if the hardware line was dirty, ``c`` = 1 if
+                a capacity *resize* forced the eviction, 0 for an
+                ordinary capacity eviction)
 ``drain``       a synchronous flush-queue drain (``a`` = stall cycles,
-                ``b`` = entries outstanding before the drain)
+                ``b`` = entries outstanding before the drain, ``c`` =
+                the committing FASE's uid for a FASE-boundary drain,
+                -1 for an end-of-program drain)
 ``burst_start`` an adaptive sampling burst opened (``a`` = burst length)
 ``mrc_computed``a burst closed and its MRC was analyzed (``a`` =
                 analysis cost in cycles, ``b`` = number of knee
@@ -31,10 +35,17 @@ Event taxonomy (see DESIGN.md §9):
                 1 for a hardware eviction write-back)
 ==============  ========================================================
 
-Exports: JSON-lines (one event per line, sorted keys — byte-identical
-across repeated runs of the same configuration) and the Chrome
-``trace_event`` format, loadable in Perfetto / ``chrome://tracing`` with
-one track per simulated thread (model cycles are mapped to microseconds).
+The ``c`` column (``resize_evict`` on ``evict_flush``, ``fase_id`` on
+``drain``) is trace schema 2; schema-1 documents (PR 2) lack those
+fields and :func:`parse_jsonl` reads them with the documented defaults
+(``resize_evict=0``, ``fase_id=-1``), so provenance degrades to
+"unattributed", never to a parse error.
+
+Exports: JSON-lines (a ``trace_meta`` header line carrying the schema
+version, then one event per line, sorted keys — byte-identical across
+repeated runs of the same configuration) and the Chrome ``trace_event``
+format, loadable in Perfetto / ``chrome://tracing`` with one track per
+simulated thread (model cycles are mapped to microseconds).
 
 When tracing is off the machine holds the module-level
 :data:`NULL_RECORDER`, whose ``enabled`` flag gates every recording site
@@ -46,6 +57,15 @@ from __future__ import annotations
 
 import json
 from typing import Dict, Iterator, List, NamedTuple, Optional, Tuple
+
+#: Version of the event taxonomy written by this recorder.  Schema 2
+#: added the third event argument (``resize_evict`` on ``evict_flush``,
+#: ``fase_id`` on ``drain``); schema-1 documents read back with the
+#: defaults in :data:`V1_ARG_DEFAULTS`.
+TRACE_SCHEMA_VERSION = 2
+
+#: The ``kind`` of the JSONL header line (not a simulator event).
+TRACE_META_KIND = "trace_meta"
 
 #: Event kinds (string constants; used as ``name`` in Chrome traces).
 EV_FASE_BEGIN = "fase_begin"
@@ -70,17 +90,25 @@ EVENT_KINDS = (
     EV_STALL,
 )
 
-#: Decoded names of the ``a``/``b`` payload per kind (``None`` = unused).
-ARG_NAMES: Dict[str, Tuple[Optional[str], Optional[str]]] = {
-    EV_FASE_BEGIN: ("fase_id", None),
-    EV_FASE_END: ("fase_id", None),
-    EV_EVICT_FLUSH: ("line", "dirty"),
-    EV_DRAIN: ("stall_cycles", "outstanding"),
-    EV_BURST_START: ("burst_length", None),
-    EV_MRC_COMPUTED: ("analysis_cost", "num_candidates"),
-    EV_KNEE_CANDIDATE: ("size", "miss_ratio_ppm"),
-    EV_SIZE_SELECTED: ("size", None),
-    EV_STALL: ("stall_cycles", "source"),
+#: Decoded names of the ``a``/``b``/``c`` payload per kind
+#: (``None`` = unused).
+ARG_NAMES: Dict[str, Tuple[Optional[str], Optional[str], Optional[str]]] = {
+    EV_FASE_BEGIN: ("fase_id", None, None),
+    EV_FASE_END: ("fase_id", None, None),
+    EV_EVICT_FLUSH: ("line", "dirty", "resize_evict"),
+    EV_DRAIN: ("stall_cycles", "outstanding", "fase_id"),
+    EV_BURST_START: ("burst_length", None, None),
+    EV_MRC_COMPUTED: ("analysis_cost", "num_candidates", None),
+    EV_KNEE_CANDIDATE: ("size", "miss_ratio_ppm", None),
+    EV_SIZE_SELECTED: ("size", None, None),
+    EV_STALL: ("stall_cycles", "source", None),
+}
+
+#: Value assumed for a schema-2 field absent from a schema-1 document,
+#: keyed by ``(kind, arg_name)``.  Anything else missing decodes as 0.
+V1_ARG_DEFAULTS: Dict[Tuple[str, str], int] = {
+    (EV_EVICT_FLUSH, "resize_evict"): 0,
+    (EV_DRAIN, "fase_id"): -1,
 }
 
 
@@ -92,16 +120,17 @@ class TraceEvent(NamedTuple):
     time: int
     a: int
     b: int
+    c: int = 0
 
 
 class TraceRecorder:
     """Buffers typed events in parallel arrays; exports JSONL / Chrome.
 
-    ``record`` is the only hot call: five list appends.  All decoding,
+    ``record`` is the only hot call: six list appends.  All decoding,
     aggregation and serialization happens at export time.
     """
 
-    __slots__ = ("_kinds", "_tids", "_times", "_a", "_b")
+    __slots__ = ("_kinds", "_tids", "_times", "_a", "_b", "_c", "schema")
 
     #: Class-level so the machine's ``recorder.enabled`` gate costs one
     #: attribute load whether the recorder is real or the null one.
@@ -113,16 +142,24 @@ class TraceRecorder:
         self._times: List[int] = []
         self._a: List[int] = []
         self._b: List[int] = []
+        self._c: List[int] = []
+        #: Schema of the taxonomy these events use.  A fresh recorder
+        #: writes the current schema; :func:`parse_jsonl` sets the
+        #: loaded document's declared (or sniffed) version instead.
+        self.schema = TRACE_SCHEMA_VERSION
 
     # -- recording -------------------------------------------------------
 
-    def record(self, kind: str, thread_id: int, time: int, a: int = 0, b: int = 0) -> None:
+    def record(
+        self, kind: str, thread_id: int, time: int, a: int = 0, b: int = 0, c: int = 0
+    ) -> None:
         """Append one event (model-time ``time`` on thread ``thread_id``)."""
         self._kinds.append(kind)
         self._tids.append(thread_id)
         self._times.append(time)
         self._a.append(a)
         self._b.append(b)
+        self._c.append(c)
 
     def clear(self) -> None:
         """Drop every buffered event."""
@@ -131,17 +168,32 @@ class TraceRecorder:
         self._times.clear()
         self._a.clear()
         self._b.clear()
+        self._c.clear()
 
     # -- reading ---------------------------------------------------------
 
     def __len__(self) -> int:
         return len(self._kinds)
 
+    def columns(self) -> Tuple[List[str], List[int], List[int], List[int], List[int], List[int]]:
+        """The parallel ``(kinds, tids, times, a, b, c)`` arrays.
+
+        The analyzer's one-pass folds index these directly instead of
+        materializing a :class:`TraceEvent` per event; callers must not
+        mutate them.
+        """
+        return (self._kinds, self._tids, self._times, self._a, self._b, self._c)
+
     def events(self) -> Iterator[TraceEvent]:
         """Iterate events in recording order."""
         for i in range(len(self._kinds)):
             yield TraceEvent(
-                self._kinds[i], self._tids[i], self._times[i], self._a[i], self._b[i]
+                self._kinds[i],
+                self._tids[i],
+                self._times[i],
+                self._a[i],
+                self._b[i],
+                self._c[i],
             )
 
     def events_of(self, kind: str) -> List[TraceEvent]:
@@ -158,22 +210,34 @@ class TraceRecorder:
     # -- export ----------------------------------------------------------
 
     def _event_args(self, e: TraceEvent) -> Dict[str, int]:
-        names = ARG_NAMES.get(e.kind, ("a", "b"))
+        names = ARG_NAMES.get(e.kind, ("a", "b", "c"))
         args: Dict[str, int] = {}
         if names[0] is not None:
             args[names[0]] = e.a
         if names[1] is not None:
             args[names[1]] = e.b
+        if names[2] is not None:
+            args[names[2]] = e.c
         return args
 
     def to_jsonl(self) -> str:
-        """One JSON object per line, sorted keys — deterministic bytes."""
-        lines = []
+        """One JSON object per line, sorted keys — deterministic bytes.
+
+        The first line is always a ``trace_meta`` header declaring the
+        schema version, even for an empty trace.
+        """
+        lines = [
+            json.dumps(
+                {"kind": TRACE_META_KIND, "schema": TRACE_SCHEMA_VERSION},
+                sort_keys=True,
+                separators=(",", ":"),
+            )
+        ]
         for e in self.events():
             doc = {"kind": e.kind, "tid": e.thread_id, "ts": e.time}
             doc.update(self._event_args(e))
             lines.append(json.dumps(doc, sort_keys=True, separators=(",", ":")))
-        return "\n".join(lines) + ("\n" if lines else "")
+        return "\n".join(lines) + "\n"
 
     def to_chrome(self) -> Dict:
         """The Chrome ``trace_event`` document (open in Perfetto).
@@ -222,7 +286,10 @@ class TraceRecorder:
         return {
             "traceEvents": events,
             "displayTimeUnit": "ms",
-            "otherData": {"time_unit": "model cycles rendered as microseconds"},
+            "otherData": {
+                "time_unit": "model cycles rendered as microseconds",
+                "trace_schema": TRACE_SCHEMA_VERSION,
+            },
         }
 
     def write_jsonl(self, path: str) -> None:
@@ -239,6 +306,61 @@ class TraceRecorder:
         return f"TraceRecorder(events={len(self)}, kinds={list(self.counts())})"
 
 
+#: Inverse of :data:`ARG_NAMES`: ``kind -> {arg_name: column_index}``.
+_ARG_COLUMNS: Dict[str, Dict[str, int]] = {
+    kind: {name: i for i, name in enumerate(names) if name is not None}
+    for kind, names in ARG_NAMES.items()
+}
+
+
+def parse_jsonl(text: str) -> TraceRecorder:
+    """Rebuild a :class:`TraceRecorder` from its JSONL export.
+
+    Accepts both schema-2 documents (``trace_meta`` header line) and the
+    headerless schema-1 documents written by PR 2; fields introduced by
+    schema 2 decode to :data:`V1_ARG_DEFAULTS` when absent, so old
+    traces analyze with provenance "unattributed" rather than failing.
+    """
+    from repro.common.errors import ConfigurationError
+
+    rec = TraceRecorder()
+    rec.schema = 1  # headerless documents are schema 1 by definition
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            doc = json.loads(line)
+        except ValueError as exc:
+            raise ConfigurationError(f"trace line {lineno}: not JSON ({exc})") from None
+        kind = doc.get("kind")
+        if kind == TRACE_META_KIND:
+            schema = doc.get("schema")
+            if not isinstance(schema, int) or schema < 1 or schema > TRACE_SCHEMA_VERSION:
+                raise ConfigurationError(
+                    f"trace line {lineno}: unsupported trace schema {schema!r} "
+                    f"(this build reads 1..{TRACE_SCHEMA_VERSION})"
+                )
+            rec.schema = schema
+            continue
+        if kind not in _ARG_COLUMNS:
+            raise ConfigurationError(f"trace line {lineno}: unknown event kind {kind!r}")
+        cols = [0, 0, 0]
+        for name, idx in _ARG_COLUMNS[kind].items():
+            if name in doc:
+                cols[idx] = doc[name]
+            else:
+                cols[idx] = V1_ARG_DEFAULTS.get((kind, name), 0)
+        rec.record(kind, doc["tid"], doc["ts"], cols[0], cols[1], cols[2])
+    return rec
+
+
+def read_jsonl(path: str) -> TraceRecorder:
+    """Load a JSONL trace file written by :meth:`TraceRecorder.write_jsonl`."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return parse_jsonl(fh.read())
+
+
 class NullRecorder:
     """The disabled path: ``enabled`` is False and ``record`` is a no-op.
 
@@ -251,7 +373,9 @@ class NullRecorder:
 
     enabled = False
 
-    def record(self, kind: str, thread_id: int, time: int, a: int = 0, b: int = 0) -> None:
+    def record(
+        self, kind: str, thread_id: int, time: int, a: int = 0, b: int = 0, c: int = 0
+    ) -> None:
         """Deliberately empty."""
 
     def __len__(self) -> int:

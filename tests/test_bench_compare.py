@@ -100,6 +100,47 @@ def test_reuse_counts_ride_along():
     assert "reuse_counts" in format_report(verdict)
 
 
+def test_analyzer_throughput_is_gated():
+    base = dict(BASE, analyzer={"events": 100_000, "events_per_sec": 1000.0})
+    fast = dict(BASE, analyzer={"events": 100_000, "events_per_sec": 1100.0})
+    slow = dict(BASE, analyzer={"events": 100_000, "events_per_sec": 800.0})
+    ok = compare(base, fast, max_regress=3.0)
+    assert ok["ok"] and ok["analyzer_ratio"] == pytest.approx(1.1)
+    bad = compare(base, slow, max_regress=3.0)
+    assert not bad["ok"]                     # simulator fine, analyzer not
+    assert bad["regress_pct"] == pytest.approx(0.0)
+    assert bad["analyzer_regress_pct"] == pytest.approx(20.0)
+    assert "analyzer" in format_report(bad)
+    # A generous threshold lets the same diff through.
+    assert compare(base, slow, max_regress=25.0)["ok"]
+
+
+def test_missing_analyzer_section_is_noted_not_gated():
+    new = dict(BASE, analyzer={"events": 100_000, "events_per_sec": 1.0})
+    for base in (BASE, new):                 # missing on either side
+        other = new if base is BASE else BASE
+        verdict = compare(base, other)
+        assert verdict["ok"]
+        assert verdict["analyzer_ratio"] is None
+        assert any("analyzer" in n for n in verdict["notes"])
+
+
+def test_bench_analyzer_section_shape():
+    from repro.experiments.bench import _synthetic_trace, bench_analyzer
+    from repro.obs.analyze import analyze
+
+    section = bench_analyzer(2_000, reps=1)
+    assert section["events"] >= 2_000
+    assert section["events_per_sec"] > 0
+    # The synthetic trace is pinned: same events every time, and it
+    # exercises the analyzer's controller path (selections present).
+    t1, t2 = _synthetic_trace(2_000), _synthetic_trace(2_000)
+    assert list(t1.events()) == list(t2.events())
+    profile = analyze(t1)
+    assert profile.adaptation.selections > 0
+    assert profile.provenance.evict_flushes > 0
+
+
 def test_load_bench_rejects_non_bench_documents(tmp_path):
     path = tmp_path / "x.json"
     path.write_text(json.dumps({"hello": 1}))

@@ -12,6 +12,8 @@ from repro.cache.policies import make_factory
 from repro.nvram.machine import Machine, MachineConfig
 from repro.obs.runner import traced_run
 from repro.obs.trace import (
+    EV_DRAIN,
+    EV_EVICT_FLUSH,
     EV_FASE_BEGIN,
     EV_FASE_END,
     EV_SIZE_SELECTED,
@@ -92,6 +94,63 @@ def test_per_event_and_batched_traces_are_identical():
 
     for technique in ("BEST", "SC"):
         assert run(technique, False) == run(technique, True), technique
+
+
+def test_drain_events_carry_fase_ids(tiny_harness):
+    """FASE-boundary drains are attributed to the committing FASE; the
+    final drain is marked unattributed (-1)."""
+    result, recorder, _ = traced_run(tiny_harness, "queue", "LA")
+    drains = recorder.events_of(EV_DRAIN)
+    assert drains, "LA drains at every FASE end"
+    fase_uids = {e.a for e in recorder.events_of(EV_FASE_END)}
+    attributed = [e for e in drains if e.c >= 0]
+    unattributed = [e for e in drains if e.c == -1]
+    assert attributed, "at least one FASE-end drain"
+    assert all(e.c in fase_uids for e in attributed)
+    # One final drain per thread, at most (threads with nothing queued
+    # drain for free and may still record a zero-stall drain).
+    assert len(unattributed) <= len(result.threads)
+    assert len(drains) == len(attributed) + len(unattributed)
+
+
+def test_evict_flush_resize_flags():
+    """Capacity evictions carry resize_evict=0; an SC run that shrinks
+    its cache marks resize-forced write-backs with resize_evict=1."""
+    recorder = TraceRecorder()
+    machine = Machine(MachineConfig(l1_capacity_lines=16), recorder=recorder)
+    result = machine.run(
+        get_workload("water-spatial", scale=0.05),
+        make_factory("SC"),
+        num_threads=2,
+        seed=7,
+    )
+    flushes = recorder.events_of(EV_EVICT_FLUSH)
+    assert flushes
+    assert all(e.c in (0, 1) for e in flushes)
+    # Every evict_flush (capacity or resize) counts into the same
+    # RunResult eviction_flushes aggregate — the trace adds provenance
+    # without changing the statistics schema.
+    assert len(flushes) == sum(t.eviction_flushes for t in result.threads)
+
+
+def test_resize_eviction_carries_the_resize_flag():
+    """A controller shrink that evicts resident lines flags the forced
+    write-backs with resize_evict=1 and keeps counting them as eviction
+    flushes in the RunResult."""
+    from repro.nvram.memory import NVRAM_BASE
+
+    recorder = TraceRecorder()
+    machine = Machine(MachineConfig(), recorder=recorder)
+    technique = make_factory("SC-offline", sc_fixed_size=8)(0)
+    session = machine.session(technique)
+    for i in range(8):
+        session.store(NVRAM_BASE + 64 * i)
+    technique._resize(2)               # shrink below occupancy: 6 evictions
+    session.finish()
+    flushes = recorder.events_of(EV_EVICT_FLUSH)
+    resize_forced = [e for e in flushes if e.c == 1]
+    assert len(resize_forced) == 6
+    assert session.stats.eviction_flushes == len(flushes)
 
 
 def test_metrics_sampling_through_a_run(tiny_harness):

@@ -15,9 +15,11 @@ from repro.obs.trace import (
     EV_SIZE_SELECTED,
     EVENT_KINDS,
     NULL_RECORDER,
+    TRACE_SCHEMA_VERSION,
     NullRecorder,
     TraceEvent,
     TraceRecorder,
+    parse_jsonl,
 )
 
 
@@ -29,13 +31,17 @@ def test_record_and_read_back():
     assert len(rec) == 3
     events = list(rec.events())
     assert events[0] == TraceEvent(EV_FASE_BEGIN, 0, 10, 1, 0)
-    assert events[1] == TraceEvent(EV_EVICT_FLUSH, 1, 20, 42, 1)
+    assert events[1] == TraceEvent(EV_EVICT_FLUSH, 1, 20, 42, 1, 0)
     assert rec.events_of(EV_FASE_END) == [TraceEvent(EV_FASE_END, 0, 30, 1, 0)]
     assert rec.counts() == {EV_EVICT_FLUSH: 1, EV_FASE_BEGIN: 1, EV_FASE_END: 1}
     rec.clear()
     assert len(rec) == 0
     assert rec.counts() == {}
-    assert rec.to_jsonl() == ""
+    # An empty trace is still a valid schema-2 document: header only.
+    assert json.loads(rec.to_jsonl()) == {
+        "kind": "trace_meta",
+        "schema": TRACE_SCHEMA_VERSION,
+    }
 
 
 def test_every_kind_has_arg_names():
@@ -44,9 +50,9 @@ def test_every_kind_has_arg_names():
 
 def test_jsonl_uses_decoded_arg_names_and_sorted_keys():
     rec = TraceRecorder()
-    rec.record(EV_DRAIN, 2, 100, 7, 3)
-    line = rec.to_jsonl()
-    assert line.endswith("\n")
+    rec.record(EV_DRAIN, 2, 100, 7, 3, 5)
+    header, line = rec.to_jsonl().splitlines()
+    assert json.loads(header) == {"kind": "trace_meta", "schema": 2}
     doc = json.loads(line)
     assert doc == {
         "kind": "drain",
@@ -54,9 +60,55 @@ def test_jsonl_uses_decoded_arg_names_and_sorted_keys():
         "ts": 100,
         "stall_cycles": 7,
         "outstanding": 3,
+        "fase_id": 5,
     }
     # Dumped with sort_keys, so the textual key order is sorted.
     assert list(doc) == sorted(doc)
+
+
+def test_jsonl_round_trips_every_kind():
+    rec = TraceRecorder()
+    for i, kind in enumerate(EVENT_KINDS):
+        rec.record(kind, i % 3, 10 * i, i, i + 1, i + 2)
+    back = parse_jsonl(rec.to_jsonl())
+    assert back.schema == TRACE_SCHEMA_VERSION
+    # Args whose name is None are not serialized, so they return as 0.
+    expected = []
+    for e in rec.events():
+        names = ARG_NAMES[e.kind]
+        expected.append(
+            TraceEvent(
+                e.kind,
+                e.thread_id,
+                e.time,
+                e.a if names[0] else 0,
+                e.b if names[1] else 0,
+                e.c if names[2] else 0,
+            )
+        )
+    assert list(back.events()) == expected
+
+
+def test_parse_jsonl_reads_schema1_with_defaults():
+    # A PR-2 document: no trace_meta header, no resize_evict/fase_id.
+    text = (
+        '{"dirty":1,"kind":"evict_flush","line":42,"tid":0,"ts":10}\n'
+        '{"kind":"drain","outstanding":3,"stall_cycles":7,"tid":0,"ts":20}\n'
+    )
+    rec = parse_jsonl(text)
+    assert rec.schema == 1
+    flush, drain = rec.events()
+    assert flush.c == 0      # resize_evict defaults to "not resize-forced"
+    assert drain.c == -1     # fase_id defaults to "unattributed"
+
+
+def test_parse_jsonl_rejects_garbage():
+    with pytest.raises(ConfigurationError):
+        parse_jsonl('{"kind":"no_such_event","tid":0,"ts":0}\n')
+    with pytest.raises(ConfigurationError):
+        parse_jsonl("not json\n")
+    with pytest.raises(ConfigurationError):
+        parse_jsonl('{"kind":"trace_meta","schema":99}\n')
 
 
 def test_chrome_export_structure():
@@ -124,6 +176,19 @@ def test_metrics_due_schedule_is_per_key():
     assert m.due("t0", 100) is True
     assert m.due("t0", 350) is True    # schedule advances from observed time
     assert m.due("t1", 40) is True     # keys are independent
+
+
+def test_metrics_due_anchors_at_explicit_start():
+    """A series born mid-run anchors its schedule at ``start`` instead of
+    phantom-sampling at cycle 0."""
+    m = MetricsRegistry(interval=100)
+    assert m.due("sel", 40, start=500) is False   # not yet born
+    assert m.due("sel", 499, start=500) is False
+    assert m.due("sel", 500, start=500) is True
+    assert m.due("sel", 550, start=500) is False  # interval now applies
+    assert m.due("sel", 600, start=500) is True
+    # start only matters for the key's first observation.
+    assert m.due("sel", 700, start=0) is True
 
 
 def test_metrics_series_and_errors():

@@ -1,6 +1,8 @@
 """The EXPERIMENTS.md generator and the command-line entry point."""
 
 
+import json
+
 import pytest
 
 from repro.experiments.report import GENERATORS, generate
@@ -42,3 +44,85 @@ def test_cli_all_writes_report(tmp_path, capsys, monkeypatch):
     text = (tmp_path / "OUT.md").read_text()
     for title in ("Table I", "Table III", "Figure 7"):
         assert title in text
+
+
+def _traced_cell(tmp_path, name, technique="SC"):
+    """One traced CLI run; returns the jsonl trace path."""
+    path = tmp_path / f"{name}.jsonl"
+    rc = main(
+        [
+            "run", "--workload", "queue", "--technique", technique,
+            "--threads", "2", "--scale", "0.02", "--seed", "7",
+            "--trace", str(path),
+        ]
+    )
+    assert rc == 0
+    return path
+
+
+def test_cli_profile_artifact(tmp_path, capsys):
+    trace = _traced_cell(tmp_path, "a")
+    json_out = tmp_path / "profile.json"
+    html_out = tmp_path / "profile.html"
+    rc = main(
+        ["profile", "--trace", str(trace),
+         "--json", str(json_out), "--html", str(html_out)]
+    )
+    assert rc == 0                      # seed run: no error diagnoses
+    out = capsys.readouterr().out
+    assert "Flush provenance" in out
+    doc = json.loads(json_out.read_text())
+    assert doc["schema"] == 2
+    assert html_out.read_text().startswith("<!DOCTYPE html>")
+
+
+def test_cli_profile_is_byte_deterministic(tmp_path, capsys):
+    trace = _traced_cell(tmp_path, "a")
+    outs = []
+    for name in ("p1", "p2"):
+        json_out = tmp_path / f"{name}.json"
+        html_out = tmp_path / f"{name}.html"
+        assert main(
+            ["profile", "--trace", str(trace),
+             "--json", str(json_out), "--html", str(html_out)]
+        ) == 0
+        outs.append((json_out.read_bytes(), html_out.read_bytes()))
+    assert outs[0] == outs[1]
+
+
+def test_cli_profile_requires_exactly_one_trace(tmp_path, capsys):
+    assert main(["profile"]) == 2
+    trace = _traced_cell(tmp_path, "a")
+    assert main(["profile", "--trace", str(trace), "--trace", str(trace)]) == 2
+
+
+def test_cli_tracediff_artifact(tmp_path, capsys):
+    a = _traced_cell(tmp_path, "a")
+    b = _traced_cell(tmp_path, "b")          # identical configuration
+    c = _traced_cell(tmp_path, "c", technique="LA")
+    assert main(["tracediff", "--trace", str(a), "--trace", str(b)]) == 0
+    rc = main(
+        ["tracediff", "--trace", str(a), "--trace", str(c),
+         "--json", str(tmp_path / "d.json")]
+    )
+    assert rc == 1
+    assert json.loads((tmp_path / "d.json").read_text())["verdict"] == "different"
+    assert main(["tracediff", "--trace", str(a)]) == 2
+
+
+def test_cli_crashmatrix_observability(tmp_path, capsys):
+    trace = tmp_path / "cm.jsonl"
+    metrics = tmp_path / "cm.metrics.json"
+    rc = main(
+        [
+            "crashmatrix", "--workloads", "linked-list", "--scale", "0.02",
+            "--max-sites", "4", "--trace", str(trace), "--metrics", str(metrics),
+        ]
+    )
+    assert rc == 0
+    # The golden run plus every crash replay recorded into one trace.
+    text = trace.read_text()
+    assert '"kind":"trace_meta"' in text.splitlines()[0].replace(" ", "")
+    doc = json.loads(metrics.read_text())
+    assert doc["counters"]                  # final totals were dumped
+    assert any(name.startswith("flush_queue_depth/") for name in doc["series"])

@@ -132,6 +132,7 @@ def test_snapshot_counters_and_invariants():
         "misses": 3,
         "evictions": 2,
         "resize_evictions": 1,
+        "resizes": 1,
         "drains": 0,
     }
     assert c.accesses == c.hits + c.misses
@@ -148,6 +149,11 @@ def test_snapshot_detects_corrupted_counters():
     c = WriteCombiningCache(2)
     c.access(1)
     c.evictions = 5                    # capacity evictions without misses
+    with pytest.raises(SimulationError):
+        c.snapshot()
+    c = WriteCombiningCache(2)
+    c.access(1)
+    c.resize_evictions = 1             # resize evictions without any resize
     with pytest.raises(SimulationError):
         c.snapshot()
 
