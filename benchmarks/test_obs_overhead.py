@@ -74,3 +74,36 @@ def test_enabled_path_overhead_is_bounded():
     # Recording is five list appends per (rare) event: stay within 3x
     # even on this adversarially event-dense workload.
     assert t_traced <= t_null * 3.0
+
+
+def test_streaming_recorder_overhead_is_bounded(tmp_path):
+    """The full live pipeline — ring, counts, JSONL spill — stays a
+    bounded multiple of the untraced run (BENCH tracks the exact ratio
+    as ``streaming_recorder.streaming_overhead``)."""
+    from repro.obs.live import StreamingRecorder
+
+    workload = get_workload("queue", scale=SCALE)    # flush/FASE heavy
+    t_null, r_null = _timed_run(workload, "SC")
+    spill = tmp_path / "spill.jsonl"
+    best = float("inf")
+    events = 0
+    result = None
+    for _ in range(REPS):
+        recorder = StreamingRecorder(str(spill))     # fresh ring + file per rep
+        machine = Machine(MachineConfig(), recorder=recorder)
+        start = time.perf_counter()
+        result = machine.run(
+            workload, make_factory("SC"), num_threads=2, seed=7
+        )
+        recorder.close()                             # spill priced in
+        best = min(best, time.perf_counter() - start)
+        events = len(recorder)
+    print(
+        f"\nqueue SC: {t_null * 1e3:.1f} ms untraced, "
+        f"{best * 1e3:.1f} ms streaming, {events} events spilled"
+    )
+    assert events > 0
+    # Streaming only observes — the simulation is unchanged.
+    assert result.to_dict() == r_null.to_dict()
+    # Measured ~2.4x on the pinned case; 5x leaves room for CI noise.
+    assert best <= t_null * 5.0

@@ -37,12 +37,25 @@ from ``--cache-dir`` performs none, leaving both empty).
 
 The ``profile`` pseudo-artifact analyzes a recorded JSONL trace offline
 (flush provenance, FASE latency, controller diagnostics — DESIGN.md
-§11), prints the markdown profile, and optionally writes ``--json`` /
-``--html`` reports; ``tracediff`` aligns two traces and reports their
-deltas under ``--tolerance``::
+§11), prints the markdown profile (``--top-k`` sizes the hottest-lines
+table), and optionally writes ``--json`` / ``--html`` reports;
+``tracediff`` aligns two traces and reports their deltas under
+``--tolerance``::
 
     python -m repro.experiments profile --trace run.jsonl --html report.html
     python -m repro.experiments tracediff --trace a.jsonl --trace b.jsonl
+
+The ``monitor`` pseudo-artifact watches work live (DESIGN.md §12):
+by default it runs an artifact's grid (``--grid``) under a refreshing
+terminal dashboard fed by per-cell metric snapshots, with declarative
+alert rules (``--rule``, see the grammar in ``repro.obs.live``) writing
+a deterministic JSONL alert log; ``--follow PATH`` instead tails a
+JSONL trace file as it is written, folding it into a streaming profile
+window by window.  ``--once --json`` is the headless/CI form::
+
+    python -m repro.experiments monitor --grid table1 --scale 0.05 --jobs 2 \\
+        --once --json --alert-log alerts.jsonl
+    python -m repro.experiments monitor --follow run.jsonl --once
 """
 
 from __future__ import annotations
@@ -117,20 +130,34 @@ def _run_profile(args: argparse.Namespace) -> int:
     from repro.obs import analyze, read_jsonl
     from repro.obs import report as obs_report
 
+    from repro.obs.analyze import AnalyzerConfig
+
     if not args.trace or len(args.trace) != 1:
         print("profile needs exactly one --trace PATH (a .jsonl trace)",
               file=sys.stderr)
         return 2
+    if args.top_k < 1:
+        print("--top-k must be >= 1", file=sys.stderr)
+        return 2
     path = args.trace[0]
-    profile = analyze(read_jsonl(path))
+    profile = analyze(read_jsonl(path), AnalyzerConfig(top_k=args.top_k))
     metrics_doc = None
     if args.metrics:
         with open(args.metrics, "r", encoding="utf-8") as fh:
             metrics_doc = json.load(fh)
-    print(obs_report.render_markdown(profile, title=f"Trace profile: {path}"))
+    # With ``--json -`` stdout carries the machine-readable document, so
+    # the human-readable report moves to stderr to keep stdout parseable.
+    report_stream = sys.stderr if args.json_out == "-" else sys.stdout
+    print(
+        obs_report.render_markdown(profile, title=f"Trace profile: {path}"),
+        file=report_stream,
+    )
     if args.json_out:
-        obs_report.write_text(args.json_out, profile.to_json())
-        print(f"wrote {args.json_out}", file=sys.stderr)
+        if args.json_out == "-":
+            sys.stdout.write(profile.to_json())
+        else:
+            obs_report.write_text(args.json_out, profile.to_json())
+            print(f"wrote {args.json_out}", file=sys.stderr)
     if args.html:
         obs_report.write_text(
             args.html,
@@ -159,12 +186,18 @@ def _run_tracediff(args: argparse.Namespace) -> int:
         analyze(read_jsonl(path_b)),
         DiffTolerances(ratio_pct=args.tolerance),
     )
-    print(obs_report.render_diff_text(diff, label_a=path_a, label_b=path_b))
+    print(
+        obs_report.render_diff_text(diff, label_a=path_a, label_b=path_b),
+        file=sys.stderr if args.json_out == "-" else sys.stdout,
+    )
     if args.json_out:
-        obs_report.write_text(
-            args.json_out, json.dumps(diff, sort_keys=True, indent=1) + "\n"
-        )
-        print(f"wrote {args.json_out}", file=sys.stderr)
+        if args.json_out == "-":
+            sys.stdout.write(json.dumps(diff, sort_keys=True, indent=1) + "\n")
+        else:
+            obs_report.write_text(
+                args.json_out, json.dumps(diff, sort_keys=True, indent=1) + "\n"
+            )
+            print(f"wrote {args.json_out}", file=sys.stderr)
     if args.html:
         obs_report.write_text(
             args.html,
@@ -263,10 +296,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "artifact",
         choices=sorted(GENERATORS)
-        + ["all", "crashmatrix", "profile", "run", "tracediff"],
+        + ["all", "crashmatrix", "monitor", "profile", "run", "tracediff"],
         help="which table/figure to regenerate, 'run' for one traced "
         "cell, 'crashmatrix' for fault-injection campaigns, 'profile' "
-        "to analyze a recorded trace, or 'tracediff' to compare two",
+        "to analyze a recorded trace, 'tracediff' to compare two, or "
+        "'monitor' to watch a grid or trace live",
     )
     parser.add_argument(
         "--scale",
@@ -337,9 +371,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     analytics.add_argument(
         "--json",
         dest="json_out",
+        nargs="?",
+        const="-",
         default=None,
         metavar="PATH",
-        help="write the profile (or diff) as deterministic JSON",
+        help="write the profile/diff/monitor summary as deterministic "
+        "JSON; bare --json (or PATH '-') means stdout",
+    )
+    analytics.add_argument(
+        "--top-k",
+        type=int,
+        default=10,
+        metavar="K",
+        help="'profile': hottest-flushed-lines table length (default 10)",
     )
     analytics.add_argument(
         "--html",
@@ -401,9 +445,76 @@ def main(argv: Optional[List[str]] = None) -> int:
         metavar="PATH",
         help="write the crash matrix (or list of matrices) as JSON",
     )
+    mon = parser.add_argument_group("'monitor' (live telemetry)")
+    mon.add_argument(
+        "--grid",
+        default="table1",
+        metavar="ARTIFACT",
+        help="grid mode: which artifact's run grid to execute and watch "
+        "(default table1)",
+    )
+    mon.add_argument(
+        "--follow",
+        default=None,
+        metavar="PATH",
+        help="follow mode: tail a JSONL trace file being written "
+        "instead of running a grid",
+    )
+    mon.add_argument(
+        "--once",
+        action="store_true",
+        help="headless: process what is available, render once, exit",
+    )
+    mon.add_argument(
+        "--refresh",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="seconds between dashboard redraws (default 1.0)",
+    )
+    mon.add_argument(
+        "--rule",
+        action="append",
+        metavar="RULE",
+        help="alert rule 'name: metric > value [@severity]' (also "
+        "rate(metric) / sustained(metric, N)); repeatable; a name "
+        "matching a default rule overrides it",
+    )
+    mon.add_argument(
+        "--alert-log",
+        default=None,
+        metavar="PATH",
+        help="append fired alerts to PATH as deterministic JSONL",
+    )
+    mon.add_argument(
+        "--window",
+        type=int,
+        default=100_000,
+        metavar="CYCLES",
+        help="follow mode: streaming-profile window length in model "
+        "cycles (default 100000)",
+    )
+    mon.add_argument(
+        "--max-idle",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="follow mode: stop after this long with no new trace bytes "
+        "(default: follow until interrupted)",
+    )
     args = parser.parse_args(argv)
 
     start = time.time()
+    if args.artifact == "monitor":
+        from repro.experiments.monitor import run_monitor
+
+        return run_monitor(
+            args,
+            lambda: Harness(
+                HarnessConfig(scale=args.scale, seed=args.seed),
+                cache_dir=args.cache_dir,
+            ),
+        )
     if args.artifact == "profile":
         return _run_profile(args)
     if args.artifact == "tracediff":

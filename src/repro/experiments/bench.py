@@ -24,6 +24,14 @@ of committed files is a perf trajectory across PRs.  Three benches:
     one-pass fold: a per-event-object rewrite would show up here long
     before it hurts anyone profiling a real run.
 
+``streaming_recorder``
+    Recording-path overhead of the live telemetry layer on a pinned
+    flush-heavy run: the same (workload, technique) case executed with
+    the shared ``NULL_RECORDER``, with a buffering ``TraceRecorder``,
+    and with a :class:`repro.obs.live.StreamingRecorder` spilling JSONL
+    to disk — events/second each way, plus the overhead ratios vs the
+    null path that the acceptance criteria pin.
+
 ``harness``
     End-to-end wall clock of a Figure-4 subset grid three ways: a fresh
     sequential sweep, ``run_grid(..., jobs=N)`` on fresh harnesses, and
@@ -91,6 +99,13 @@ REUSE_INTERVALS = 250_000
 
 #: analyzer bench: synthetic trace length (events).
 ANALYZER_EVENTS = 100_000
+
+#: Streaming-recorder bench: a flush/FASE-heavy pinned case (the same
+#: shape ``benchmarks/test_obs_overhead.py`` bounds).
+STREAM_SCALE = 0.2
+STREAM_WORKLOAD = "queue"
+STREAM_TECHNIQUE = "SC"
+STREAM_THREADS = 2
 
 #: Harness bench: a Figure-4 subset (single-thread speedups over ER).
 HARNESS_SCALE = 0.5
@@ -230,6 +245,61 @@ def bench_analyzer(events: int, reps: int) -> Dict:
     }
 
 
+def bench_streaming_recorder(scale: float, reps: int) -> Dict:
+    """Recording overhead: null vs buffering vs streaming-with-spill.
+
+    One pinned flush/FASE-heavy run (``queue`` under SC, two threads —
+    the shape ``benchmarks/test_obs_overhead.py`` bounds) executed three
+    ways.  A fresh recorder per rep keeps the ring/buffer cold, and the
+    streaming spill goes to a real temporary file so the row prices the
+    whole live pipeline, I/O included.
+    """
+    import tempfile
+
+    from repro.obs.live import StreamingRecorder
+    from repro.obs.trace import NULL_RECORDER, TraceRecorder
+
+    workload = get_workload(STREAM_WORKLOAD, scale=scale)
+    config = HarnessConfig(scale=scale, seed=BENCH_SEED).machine_config()
+    seen = {"machine_events": 0, "trace_events": 0}
+
+    def run(recorder) -> None:
+        result = Machine(config, recorder=recorder).run(
+            workload,
+            make_factory(STREAM_TECHNIQUE),
+            num_threads=STREAM_THREADS,
+            seed=BENCH_SEED,
+        )
+        seen["machine_events"] = result.instructions + result.persistent_stores
+        if recorder is not NULL_RECORDER:
+            seen["trace_events"] = len(recorder)
+
+    def run_streaming(spill: str) -> None:
+        with StreamingRecorder(spill) as rec:
+            run(rec)
+
+    null_s = _best_of(reps, lambda: run(NULL_RECORDER))
+    traced_s = _best_of(reps, lambda: run(TraceRecorder()))
+    with tempfile.TemporaryDirectory(prefix="bench-stream-") as tmp:
+        spill = os.path.join(tmp, "spill.jsonl")
+        streaming_s = _best_of(reps, lambda: run_streaming(spill))
+    return {
+        "workload": STREAM_WORKLOAD,
+        "technique": STREAM_TECHNIQUE,
+        "threads": STREAM_THREADS,
+        "machine_events": seen["machine_events"],
+        "trace_events": seen["trace_events"],
+        "null_s": round(null_s, 4),
+        "traced_s": round(traced_s, 4),
+        "streaming_s": round(streaming_s, 4),
+        "null_eps": round(seen["machine_events"] / null_s),
+        "traced_eps": round(seen["machine_events"] / traced_s),
+        "streaming_eps": round(seen["machine_events"] / streaming_s),
+        "traced_overhead": round(traced_s / null_s, 3),
+        "streaming_overhead": round(streaming_s / null_s, 3),
+    }
+
+
 def bench_harness(scale: float, jobs: int) -> Dict:
     """Figure-4-subset wall clock: sequential, ``jobs=N``, warm cache.
 
@@ -299,6 +369,7 @@ def run_suite(
     reuse_n = 100_000 if quick else REUSE_N
     reuse_intervals = 50_000 if quick else REUSE_INTERVALS
     analyzer_events = 20_000 if quick else ANALYZER_EVENTS
+    stream_scale = 0.05 if quick else STREAM_SCALE
     return {
         "suite_version": SUITE_VERSION,
         "schema_version": BENCH_SCHEMA_VERSION,
@@ -317,6 +388,7 @@ def run_suite(
         ),
         "reuse_counts": bench_reuse_counts(reuse_n, reuse_intervals, reps),
         "analyzer": bench_analyzer(analyzer_events, reps),
+        "streaming_recorder": bench_streaming_recorder(stream_scale, reps),
         "harness": bench_harness(harness_scale, jobs),
     }
 

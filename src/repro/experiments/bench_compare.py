@@ -14,11 +14,12 @@ Rules:
   diffs are refused (exit code 2) rather than silently misread.
 - The gated metrics are ``batched_eps`` (events/second on the batched
   fast path, geometric mean over the (workload, technique) cases both
-  documents measured) and — when both documents carry an ``analyzer``
-  section — the trace analyzer's events/second.  ``per_event_eps`` and
-  the reuse-accumulator throughput ride along as informational rows;
-  a baseline written before the analyzer bench existed is still
-  comparable (the analyzer gate is skipped with a note).
+  documents measured) and — when both documents carry them — the trace
+  analyzer's events/second and the streaming recorder's spill-inclusive
+  events/second.  ``per_event_eps`` and the reuse-accumulator
+  throughput ride along as informational rows; a baseline written
+  before the analyzer or streaming_recorder bench existed is still
+  comparable (that gate is skipped with a note).
 - Quick-mode documents use smaller pinned scales, so a quick-vs-full
   diff is flagged in the report; the throughput comparison stays
   meaningful (events/second, not wall clock) but CI should pair it with
@@ -136,8 +137,29 @@ def compare(
             f"analyzer throughput not gated"
         )
 
-    ok = regress_pct <= max_regress and (
-        analyzer_regress_pct is None or analyzer_regress_pct <= max_regress
+    streaming_ratio: Optional[float] = None
+    streaming_regress_pct: Optional[float] = None
+    if "streaming_recorder" in base and "streaming_recorder" in new:
+        streaming_ratio = (
+            new["streaming_recorder"]["streaming_eps"]
+            / base["streaming_recorder"]["streaming_eps"]
+        )
+        streaming_regress_pct = (1.0 - streaming_ratio) * 100.0
+    else:
+        missing = [
+            label
+            for label, doc in (("base", base), ("new", new))
+            if "streaming_recorder" not in doc
+        ]
+        notes.append(
+            f"no streaming_recorder bench in {'/'.join(missing)} "
+            f"(older document); streaming throughput not gated"
+        )
+
+    ok = (
+        regress_pct <= max_regress
+        and (analyzer_regress_pct is None or analyzer_regress_pct <= max_regress)
+        and (streaming_regress_pct is None or streaming_regress_pct <= max_regress)
     )
     return {
         "schema_version": base_schema,
@@ -147,6 +169,8 @@ def compare(
         "reuse_ratio": reuse_ratio,
         "analyzer_ratio": analyzer_ratio,
         "analyzer_regress_pct": analyzer_regress_pct,
+        "streaming_ratio": streaming_ratio,
+        "streaming_regress_pct": streaming_regress_pct,
         "regress_pct": regress_pct,
         "max_regress": max_regress,
         "ok": ok,
@@ -184,6 +208,12 @@ def format_report(verdict: Dict) -> str:
         lines.append(
             f"analyzer           {verdict['analyzer_ratio']:.3f}x "
             f"(regression {verdict['analyzer_regress_pct']:+.1f}%, "
+            f"threshold {verdict['max_regress']:.1f}%)"
+        )
+    if verdict.get("streaming_ratio") is not None:
+        lines.append(
+            f"streaming_recorder {verdict['streaming_ratio']:.3f}x "
+            f"(regression {verdict['streaming_regress_pct']:+.1f}%, "
             f"threshold {verdict['max_regress']:.1f}%)"
         )
     for note in verdict["notes"]:

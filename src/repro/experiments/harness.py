@@ -324,18 +324,25 @@ class Harness:
         them afterwards get hits.
 
         ``progress(done, total, cell)``, if given, is invoked after each
-        completed cell on both the sequential and parallel paths.
+        completed cell on both the sequential and parallel paths.  A
+        callback declaring a fourth parameter additionally receives the
+        cell's metric snapshot
+        (:func:`repro.obs.live.snapshot_from_result`) — the richer hook
+        the live monitor attaches to.
         """
         cells = list(dict.fromkeys(cells))
         if jobs > 1 and len(cells) > 1:
             from repro.experiments.parallel import run_grid_parallel
 
             return run_grid_parallel(self, cells, jobs, progress=progress)
+        from repro.obs.live import resolve_grid_progress
+
+        notify = resolve_grid_progress(progress)
         results: Dict[Cell, RunResult] = {}
         for cell in cells:
             results[cell] = self.run(*cell)
-            if progress is not None:
-                progress(len(results), len(cells), cell)
+            if notify is not None:
+                notify(len(results), len(cells), cell, results[cell])
         return results
 
     # ------------------------------------------------------------------

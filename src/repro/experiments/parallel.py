@@ -88,7 +88,13 @@ def run_grid_parallel(
     ``progress``, if given, is called as ``progress(done, total, cell)``
     after every completed cell — the per-cell heartbeat long parallel
     sweeps print so a stalled worker is visible before the pool joins.
+    A four-parameter callback additionally receives the cell's metric
+    snapshot (:func:`repro.obs.live.snapshot_from_result`), computed
+    parent-side from the worker's shipped result — no extra IPC.
     """
+    from repro.obs.live import resolve_grid_progress
+
+    notify = resolve_grid_progress(progress)
     cells = list(dict.fromkeys(cells))
     results: Dict[Cell, object] = {}
     pending: List[Cell] = []
@@ -96,8 +102,8 @@ def run_grid_parallel(
         cached = harness._runs.get(cell)
         if cached is not None:
             results[cell] = cached
-            if progress is not None:
-                progress(len(results), len(cells), cell)
+            if notify is not None:
+                notify(len(results), len(cells), cell, cached)
         else:
             pending.append(cell)
     if not pending:
@@ -137,8 +143,8 @@ def run_grid_parallel(
             for cell, result in future.result():
                 harness._runs[cell] = result
                 results[cell] = result
-                if progress is not None:
-                    progress(len(results), len(cells), cell)
+                if notify is not None:
+                    notify(len(results), len(cells), cell, result)
     return results
 
 

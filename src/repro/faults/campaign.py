@@ -239,7 +239,9 @@ def run_campaign(
     :class:`~repro.workloads.base.Workload` instance.  A workload that
     cannot partition over ``threads`` runs single-threaded instead —
     the hash benchmark, for one, is single-threaded by construction.
-    ``progress(done, total)`` is called after every injected crash.
+    ``progress(done, total)`` is called after every injected crash; a
+    callback declaring a third parameter also receives a per-crash info
+    dict (``site``/``model``/``site_class``/``violated``).
 
     ``recorder``/``metrics`` attach the observability layer to the
     replays this process performs (the golden run, plus every crash
@@ -325,6 +327,19 @@ def run_campaign(
         fault_models=tuple(spec.fault_models),
     )
 
+    if progress is not None:
+        from repro.obs.live import progress_arity
+
+        # Legacy callbacks take (done, total); richer ones declare a
+        # third parameter and also get {site, model, site_class,
+        # violated} per injected crash — the live monitor's feed.
+        if progress_arity(progress) >= 3:
+            notify = progress
+        else:
+            notify = lambda done, total, info: progress(done, total)
+    else:
+        notify = None
+
     done = 0
     if spec.jobs > 1 and len(jobs) > 1:
         chunks: List[List[Tuple[int, str, int]]] = [
@@ -341,8 +356,17 @@ def run_campaign(
                 for site, model, viols in future.result():
                     collected.append((site, model, viols))
                     done += 1
-                    if progress is not None:
-                        progress(done, len(jobs))
+                    if notify is not None:
+                        notify(
+                            done,
+                            len(jobs),
+                            {
+                                "site": site,
+                                "model": model,
+                                "site_class": golden.site_class(site),
+                                "violated": bool(viols),
+                            },
+                        )
         # Fold in deterministic order regardless of completion order.
         for site, model, viols in sorted(collected, key=lambda r: (r[1], r[0])):
             matrix.cells.setdefault(
@@ -359,8 +383,17 @@ def run_campaign(
             violations = check_crash(golden, site, state, layout)
             matrix.record(golden.site_class(site), model, violations)
             done += 1
-            if progress is not None:
-                progress(done, len(jobs))
+            if notify is not None:
+                notify(
+                    done,
+                    len(jobs),
+                    {
+                        "site": site,
+                        "model": model,
+                        "site_class": golden.site_class(site),
+                        "violated": bool(violations),
+                    },
+                )
 
     if cache is not None and cache_key is not None:
         cache.put(cache_key, matrix.to_dict())

@@ -1079,6 +1079,13 @@ class Machine:
                 break
             if metrics is not None:
                 self._sample_metrics(ctx)
+            rec = self.recorder
+            if rec.enabled:
+                # Window-boundary hook: streaming recorders advance their
+                # cycle-window watermark here, once per quantum, on both
+                # the per-event and batched paths (``runner`` is whichever
+                # of the two this run uses).
+                rec.on_quantum(tid, ctx.stats.cycles)
             if self.crashed_state is not None:
                 break
             if alive:
@@ -1223,6 +1230,9 @@ class MachineSession:
         """
         if self.machine.metrics is not None:
             self.machine._sample_metrics(self._ctx)
+        rec = self.machine.recorder
+        if rec.enabled:
+            rec.on_quantum(self._ctx.thread_id, self._ctx.stats.cycles)
 
     def record_final_metrics(self) -> None:
         """Dump this thread's run totals into the metrics registry.

@@ -12,6 +12,11 @@
   harness's SVG renderer, which the simulator must not depend on).
 - :mod:`repro.obs.runner` — ``traced_run``: one harness cell executed
   with a live recorder/registry (the ``repro.experiments run`` CLI).
+- :mod:`repro.obs.live` — the streaming pipeline: bounded
+  :class:`~repro.obs.live.StreamingRecorder` with incremental JSONL
+  spill, window-folding :class:`~repro.obs.live.StreamingProfile`, and
+  the rule-driven :class:`~repro.obs.live.AlertEngine` behind the
+  ``monitor`` CLI artifact (DESIGN.md §12).
 
 Tracing is strictly opt-in: machines default to the shared
 :data:`~repro.obs.trace.NULL_RECORDER`, which keeps the batched
@@ -27,6 +32,18 @@ from repro.obs.analyze import (
     diff_profiles,
     max_severity,
     reconcile,
+)
+from repro.obs.live import (
+    DEFAULT_WINDOW_CYCLES,
+    Alert,
+    AlertEngine,
+    AlertRule,
+    StreamingProfile,
+    StreamingRecorder,
+    WindowSnapshot,
+    default_rules,
+    parse_rule,
+    snapshot_from_result,
 )
 from repro.obs.metrics import DEFAULT_INTERVAL, MetricsRegistry
 from repro.obs.trace import (
@@ -63,8 +80,12 @@ _REPORT_EXPORTS = frozenset(
 
 __all__ = [
     "ARG_NAMES",
+    "Alert",
+    "AlertEngine",
+    "AlertRule",
     "AnalyzerConfig",
     "DEFAULT_INTERVAL",
+    "DEFAULT_WINDOW_CYCLES",
     "Diagnosis",
     "DiffTolerances",
     "EVENT_KINDS",
@@ -80,16 +101,22 @@ __all__ = [
     "MetricsRegistry",
     "NULL_RECORDER",
     "NullRecorder",
+    "StreamingProfile",
+    "StreamingRecorder",
     "TRACE_SCHEMA_VERSION",
     "TraceEvent",
     "TraceProfile",
     "TraceRecorder",
+    "WindowSnapshot",
     "analyze",
+    "default_rules",
     "diff_profiles",
     "max_severity",
     "parse_jsonl",
+    "parse_rule",
     "read_jsonl",
     "reconcile",
+    "snapshot_from_result",
     "render_diff_html",
     "render_diff_text",
     "render_html",

@@ -46,6 +46,7 @@ from repro.obs.trace import (
     EV_MRC_COMPUTED,
     EV_SIZE_SELECTED,
     EV_STALL,
+    TRACE_SCHEMA_VERSION,
     TraceRecorder,
 )
 
@@ -311,6 +312,300 @@ class _ThreadFold:
         self.unbalanced_ends = 0
 
 
+class ProfileFold:
+    """Incremental accumulator behind :func:`analyze`.
+
+    Feed the trace's parallel columns in any number of chunks (whole
+    trace at once for the offline path, one cycle-window at a time for
+    :class:`repro.obs.live.StreamingProfile`), then :meth:`finalize`.
+    Because chunked feeding walks the exact same per-event fold as the
+    one-shot path, a stream split at arbitrary boundaries finalizes to
+    the identical profile — the equivalence the live layer's tests pin.
+
+    The cumulative counters (``prov``, ``fase``, ``adapt``, ``counts``,
+    ``events``) are readable mid-stream; :meth:`finalize` only adds the
+    order-independent post-processing (percentiles, top-K ranking,
+    diagnosis generation) and is idempotent.
+    """
+
+    __slots__ = (
+        "cfg",
+        "prov",
+        "fase",
+        "adapt",
+        "counts",
+        "events",
+        "_durations",
+        "_folds",
+    )
+
+    def __init__(self, config: Optional[AnalyzerConfig] = None) -> None:
+        self.cfg = config or AnalyzerConfig()
+        self.prov = FlushProvenance()
+        self.fase = FaseLatencyProfile()
+        self.adapt = AdaptationProfile()
+        self.counts: Dict[str, int] = {}
+        self.events = 0
+        self._durations: List[int] = []
+        self._folds: Dict[int, _ThreadFold] = {}
+
+    def feed_columns(
+        self,
+        kinds: List[str],
+        tids: List[int],
+        times: List[int],
+        a_col: List[int],
+        b_col: List[int],
+        c_col: List[int],
+    ) -> None:
+        """Fold one chunk of parallel event columns into the profile."""
+        n = len(kinds)
+        self.events += n
+        prov = self.prov
+        fase = self.fase
+        adapt = self.adapt
+        counts = self.counts
+        durations = self._durations
+        folds = self._folds
+        line_flushes = prov.line_flushes
+        per_thread = prov.per_thread
+
+        def thread_fold(tid: int) -> _ThreadFold:
+            f = folds.get(tid)
+            if f is None:
+                f = folds[tid] = _ThreadFold()
+                per_thread[tid] = {
+                    "capacity": 0,
+                    "resize": 0,
+                    "fase_drains": 0,
+                    "drain_stall": 0,
+                }
+            return f
+
+        for i in range(n):
+            kind = kinds[i]
+            counts[kind] = counts.get(kind, 0) + 1
+            tid = tids[i]
+            f = thread_fold(tid)
+            if kind == EV_EVICT_FLUSH:
+                line = a_col[i]
+                line_flushes[line] = line_flushes.get(line, 0) + 1
+                if b_col[i]:
+                    prov.dirty_evict_flushes += 1
+                if c_col[i]:
+                    prov.resize_evictions += 1
+                    per_thread[tid]["resize"] += 1
+                else:
+                    prov.capacity_evictions += 1
+                    per_thread[tid]["capacity"] += 1
+            elif kind == EV_STALL:
+                if b_col[i]:
+                    prov.writeback_stall_cycles += a_col[i]
+                else:
+                    prov.issue_stall_cycles += a_col[i]
+            elif kind == EV_DRAIN:
+                stall = a_col[i]
+                fase_id = c_col[i]
+                if fase_id >= 0:
+                    prov.fase_drains += 1
+                    prov.fase_drain_stall_cycles += stall
+                    prov.fase_drain_outstanding += b_col[i]
+                    per_thread[tid]["fase_drains"] += 1
+                    per_thread[tid]["drain_stall"] += stall
+                    prov.fase_drain_stall_by_fase[fase_id] = (
+                        prov.fase_drain_stall_by_fase.get(fase_id, 0) + stall
+                    )
+                    fase.drain_stall_cycles += stall
+                else:
+                    prov.final_drains += 1
+                    prov.final_drain_stall_cycles += stall
+                    prov.final_drain_outstanding += b_col[i]
+            elif kind == EV_FASE_BEGIN:
+                f.open_uid = a_col[i]
+                f.open_time = times[i]
+            elif kind == EV_FASE_END:
+                if f.open_time < 0 or f.open_uid != a_col[i]:
+                    f.unbalanced_ends += 1
+                else:
+                    durations.append(times[i] - f.open_time)
+                    fase.count += 1
+                    fase.total_cycles += times[i] - f.open_time
+                    fase.per_thread_count[tid] = fase.per_thread_count.get(tid, 0) + 1
+                f.open_uid = -1
+                f.open_time = -1
+            elif kind == EV_BURST_START:
+                adapt.bursts += 1
+            elif kind == EV_MRC_COMPUTED:
+                adapt.analyses += 1
+                adapt.analysis_cost_cycles += a_col[i]
+                f.cand = []
+                f.expected_cands = b_col[i]
+                f.awaiting_selection = True
+            elif kind == EV_KNEE_CANDIDATE:
+                adapt.knee_candidates += 1
+                f.cand.append(a_col[i])
+            elif kind == EV_SIZE_SELECTED:
+                size = a_col[i]
+                adapt.selections += 1
+                f.sizes.append(size)
+                f.sel_times.append(times[i])
+                if f.awaiting_selection:
+                    if f.expected_cands == 0:
+                        f.fallbacks += 1
+                        adapt.fallbacks += 1
+                    elif size not in f.cand:
+                        f.unmatched.append((times[i], size))
+                    f.awaiting_selection = False
+                else:
+                    f.adoptions += 1
+                    adapt.adoptions += 1
+
+    def finalize(self, schema: int = TRACE_SCHEMA_VERSION) -> TraceProfile:
+        """Post-process the accumulated state into a :class:`TraceProfile`.
+
+        Safe to call more than once (and to keep feeding afterwards):
+        every derived field is recomputed from scratch here.
+        """
+        cfg = self.cfg
+        prov = self.prov
+        fase = self.fase
+        adapt = self.adapt
+        durations = self._durations
+        folds = self._folds
+
+        durations.sort()
+        fase.p50 = _percentile(durations, 0.50)
+        fase.p95 = _percentile(durations, 0.95)
+        fase.p99 = _percentile(durations, 0.99)
+        fase.max = durations[-1] if durations else 0
+
+        # Top-K hottest flushed lines: count desc, line asc for ties.
+        prov.top_lines = sorted(
+            prov.line_flushes.items(), key=lambda kv: (-kv[1], kv[0])
+        )[: cfg.top_k]
+
+        diagnoses: List[Diagnosis] = []
+        for tid in sorted(folds):
+            f = folds[tid]
+            if f.sizes:
+                adapt.trajectories[tid] = list(zip(f.sel_times, f.sizes))
+            if f.open_time >= 0:
+                diagnoses.append(
+                    Diagnosis(
+                        code="unbalanced_fase",
+                        severity="error",
+                        thread_id=tid,
+                        message=(
+                            f"thread {tid}: fase_begin (uid {f.open_uid}) never "
+                            f"closed — truncated trace or a crashed run"
+                        ),
+                        data={"open_uid": f.open_uid},
+                    )
+                )
+            if f.unbalanced_ends:
+                diagnoses.append(
+                    Diagnosis(
+                        code="unbalanced_fase",
+                        severity="error",
+                        thread_id=tid,
+                        message=(
+                            f"thread {tid}: {f.unbalanced_ends} fase_end event(s) "
+                            f"with no matching fase_begin"
+                        ),
+                        data={"count": f.unbalanced_ends},
+                    )
+                )
+            if f.unmatched:
+                cycle, size = f.unmatched[0]
+                diagnoses.append(
+                    Diagnosis(
+                        code="unmatched_selection",
+                        severity="error",
+                        thread_id=tid,
+                        message=(
+                            f"thread {tid}: {len(f.unmatched)} selection(s) match "
+                            f"no knee candidate of the preceding MRC (first: size "
+                            f"{size} at cycle {cycle})"
+                        ),
+                        data={
+                            "count": len(f.unmatched),
+                            "first_cycle": cycle,
+                            "size": size,
+                        },
+                    )
+                )
+            if f.fallbacks:
+                diagnoses.append(
+                    Diagnosis(
+                        code="knee_fallback",
+                        severity="info",
+                        thread_id=tid,
+                        message=(
+                            f"thread {tid}: {f.fallbacks} MRC(s) yielded no knee; "
+                            f"the controller fell back to the maximum size"
+                        ),
+                        data={"count": f.fallbacks},
+                    )
+                )
+            # Knee oscillation: A -> B -> A flip-flops in the size sequence.
+            flips = 0
+            sizes = f.sizes
+            for i in range(2, len(sizes)):
+                if sizes[i] == sizes[i - 2] != sizes[i - 1]:
+                    flips += 1
+            if flips >= cfg.oscillation_warning_flips:
+                sev = "error" if flips >= cfg.oscillation_error_flips else "warning"
+                diagnoses.append(
+                    Diagnosis(
+                        code="knee_oscillation",
+                        severity=sev,
+                        thread_id=tid,
+                        message=(
+                            f"thread {tid}: selected size flip-flopped {flips} "
+                            f"time(s) over {len(sizes)} selections"
+                        ),
+                        data={"flips": flips, "selections": len(sizes)},
+                    )
+                )
+            # Resize storm: storm_count selections inside one cycle window.
+            st = f.sel_times
+            k = cfg.storm_count
+            for i in range(len(st) - k + 1):
+                if st[i + k - 1] - st[i] <= cfg.storm_window_cycles:
+                    diagnoses.append(
+                        Diagnosis(
+                            code="resize_storm",
+                            severity="warning",
+                            thread_id=tid,
+                            message=(
+                                f"thread {tid}: {k} resizes within "
+                                f"{st[i + k - 1] - st[i]} cycles (window "
+                                f"{cfg.storm_window_cycles})"
+                            ),
+                            data={
+                                "count": k,
+                                "span_cycles": st[i + k - 1] - st[i],
+                                "start_cycle": st[i],
+                            },
+                        )
+                    )
+                    break
+
+        diagnoses.sort(
+            key=lambda d: (-_SEVERITY_RANK[d.severity], d.code, d.thread_id)
+        )
+        return TraceProfile(
+            schema=schema,
+            events=self.events,
+            event_counts=self.counts,
+            threads=sorted(folds),
+            provenance=prov,
+            fase=fase,
+            adaptation=adapt,
+            diagnoses=diagnoses,
+        )
+
+
 def analyze(
     trace: TraceRecorder, config: Optional[AnalyzerConfig] = None
 ) -> TraceProfile:
@@ -322,236 +617,9 @@ def analyze(
     filled the missing ``c`` columns with their defaults, so resize
     provenance and per-FASE drain attribution simply come out empty.
     """
-    cfg = config or AnalyzerConfig()
-    kinds, tids, times, a_col, b_col, c_col = trace.columns()
-    n = len(kinds)
-
-    prov = FlushProvenance()
-    fase = FaseLatencyProfile()
-    adapt = AdaptationProfile()
-    counts: Dict[str, int] = {}
-    durations: List[int] = []
-    folds: Dict[int, _ThreadFold] = {}
-    line_flushes = prov.line_flushes
-    per_thread = prov.per_thread
-
-    def thread_fold(tid: int) -> _ThreadFold:
-        f = folds.get(tid)
-        if f is None:
-            f = folds[tid] = _ThreadFold()
-            per_thread[tid] = {
-                "capacity": 0,
-                "resize": 0,
-                "fase_drains": 0,
-                "drain_stall": 0,
-            }
-        return f
-
-    for i in range(n):
-        kind = kinds[i]
-        counts[kind] = counts.get(kind, 0) + 1
-        tid = tids[i]
-        f = thread_fold(tid)
-        if kind == EV_EVICT_FLUSH:
-            line = a_col[i]
-            line_flushes[line] = line_flushes.get(line, 0) + 1
-            if b_col[i]:
-                prov.dirty_evict_flushes += 1
-            if c_col[i]:
-                prov.resize_evictions += 1
-                per_thread[tid]["resize"] += 1
-            else:
-                prov.capacity_evictions += 1
-                per_thread[tid]["capacity"] += 1
-        elif kind == EV_STALL:
-            if b_col[i]:
-                prov.writeback_stall_cycles += a_col[i]
-            else:
-                prov.issue_stall_cycles += a_col[i]
-        elif kind == EV_DRAIN:
-            stall = a_col[i]
-            fase_id = c_col[i]
-            if fase_id >= 0:
-                prov.fase_drains += 1
-                prov.fase_drain_stall_cycles += stall
-                prov.fase_drain_outstanding += b_col[i]
-                per_thread[tid]["fase_drains"] += 1
-                per_thread[tid]["drain_stall"] += stall
-                prov.fase_drain_stall_by_fase[fase_id] = (
-                    prov.fase_drain_stall_by_fase.get(fase_id, 0) + stall
-                )
-                fase.drain_stall_cycles += stall
-            else:
-                prov.final_drains += 1
-                prov.final_drain_stall_cycles += stall
-                prov.final_drain_outstanding += b_col[i]
-        elif kind == EV_FASE_BEGIN:
-            f.open_uid = a_col[i]
-            f.open_time = times[i]
-        elif kind == EV_FASE_END:
-            if f.open_time < 0 or f.open_uid != a_col[i]:
-                f.unbalanced_ends += 1
-            else:
-                durations.append(times[i] - f.open_time)
-                fase.count += 1
-                fase.total_cycles += times[i] - f.open_time
-                fase.per_thread_count[tid] = fase.per_thread_count.get(tid, 0) + 1
-            f.open_uid = -1
-            f.open_time = -1
-        elif kind == EV_BURST_START:
-            adapt.bursts += 1
-        elif kind == EV_MRC_COMPUTED:
-            adapt.analyses += 1
-            adapt.analysis_cost_cycles += a_col[i]
-            f.cand = []
-            f.expected_cands = b_col[i]
-            f.awaiting_selection = True
-        elif kind == EV_KNEE_CANDIDATE:
-            adapt.knee_candidates += 1
-            f.cand.append(a_col[i])
-        elif kind == EV_SIZE_SELECTED:
-            size = a_col[i]
-            adapt.selections += 1
-            f.sizes.append(size)
-            f.sel_times.append(times[i])
-            if f.awaiting_selection:
-                if f.expected_cands == 0:
-                    f.fallbacks += 1
-                    adapt.fallbacks += 1
-                elif size not in f.cand:
-                    f.unmatched.append((times[i], size))
-                f.awaiting_selection = False
-            else:
-                f.adoptions += 1
-                adapt.adoptions += 1
-
-    durations.sort()
-    fase.p50 = _percentile(durations, 0.50)
-    fase.p95 = _percentile(durations, 0.95)
-    fase.p99 = _percentile(durations, 0.99)
-    fase.max = durations[-1] if durations else 0
-
-    # Top-K hottest flushed lines: count desc, line asc for ties.
-    prov.top_lines = sorted(line_flushes.items(), key=lambda kv: (-kv[1], kv[0]))[
-        : cfg.top_k
-    ]
-
-    diagnoses: List[Diagnosis] = []
-    for tid in sorted(folds):
-        f = folds[tid]
-        if f.sizes:
-            adapt.trajectories[tid] = list(zip(f.sel_times, f.sizes))
-        if f.open_time >= 0:
-            diagnoses.append(
-                Diagnosis(
-                    code="unbalanced_fase",
-                    severity="error",
-                    thread_id=tid,
-                    message=(
-                        f"thread {tid}: fase_begin (uid {f.open_uid}) never "
-                        f"closed — truncated trace or a crashed run"
-                    ),
-                    data={"open_uid": f.open_uid},
-                )
-            )
-        if f.unbalanced_ends:
-            diagnoses.append(
-                Diagnosis(
-                    code="unbalanced_fase",
-                    severity="error",
-                    thread_id=tid,
-                    message=(
-                        f"thread {tid}: {f.unbalanced_ends} fase_end event(s) "
-                        f"with no matching fase_begin"
-                    ),
-                    data={"count": f.unbalanced_ends},
-                )
-            )
-        if f.unmatched:
-            cycle, size = f.unmatched[0]
-            diagnoses.append(
-                Diagnosis(
-                    code="unmatched_selection",
-                    severity="error",
-                    thread_id=tid,
-                    message=(
-                        f"thread {tid}: {len(f.unmatched)} selection(s) match "
-                        f"no knee candidate of the preceding MRC (first: size "
-                        f"{size} at cycle {cycle})"
-                    ),
-                    data={"count": len(f.unmatched), "first_cycle": cycle, "size": size},
-                )
-            )
-        if f.fallbacks:
-            diagnoses.append(
-                Diagnosis(
-                    code="knee_fallback",
-                    severity="info",
-                    thread_id=tid,
-                    message=(
-                        f"thread {tid}: {f.fallbacks} MRC(s) yielded no knee; "
-                        f"the controller fell back to the maximum size"
-                    ),
-                    data={"count": f.fallbacks},
-                )
-            )
-        # Knee oscillation: A -> B -> A flip-flops in the size sequence.
-        flips = 0
-        sizes = f.sizes
-        for i in range(2, len(sizes)):
-            if sizes[i] == sizes[i - 2] != sizes[i - 1]:
-                flips += 1
-        if flips >= cfg.oscillation_warning_flips:
-            sev = "error" if flips >= cfg.oscillation_error_flips else "warning"
-            diagnoses.append(
-                Diagnosis(
-                    code="knee_oscillation",
-                    severity=sev,
-                    thread_id=tid,
-                    message=(
-                        f"thread {tid}: selected size flip-flopped {flips} "
-                        f"time(s) over {len(sizes)} selections"
-                    ),
-                    data={"flips": flips, "selections": len(sizes)},
-                )
-            )
-        # Resize storm: storm_count selections inside one cycle window.
-        st = f.sel_times
-        k = cfg.storm_count
-        for i in range(len(st) - k + 1):
-            if st[i + k - 1] - st[i] <= cfg.storm_window_cycles:
-                diagnoses.append(
-                    Diagnosis(
-                        code="resize_storm",
-                        severity="warning",
-                        thread_id=tid,
-                        message=(
-                            f"thread {tid}: {k} resizes within "
-                            f"{st[i + k - 1] - st[i]} cycles (window "
-                            f"{cfg.storm_window_cycles})"
-                        ),
-                        data={
-                            "count": k,
-                            "span_cycles": st[i + k - 1] - st[i],
-                            "start_cycle": st[i],
-                        },
-                    )
-                )
-                break
-
-    diagnoses.sort(
-        key=lambda d: (-_SEVERITY_RANK[d.severity], d.code, d.thread_id)
-    )
-    return TraceProfile(
-        schema=trace.schema,
-        events=n,
-        event_counts=counts,
-        threads=sorted(folds),
-        provenance=prov,
-        fase=fase,
-        adaptation=adapt,
-        diagnoses=diagnoses,
-    )
+    fold = ProfileFold(config)
+    fold.feed_columns(*trace.columns())
+    return fold.finalize(schema=trace.schema)
 
 
 def reconcile(profile: TraceProfile, result: object) -> List[str]:

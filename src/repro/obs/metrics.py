@@ -15,7 +15,7 @@ byte-identical across repeated runs of the same configuration.
 from __future__ import annotations
 
 import json
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.common.errors import ConfigurationError
 
@@ -24,14 +24,28 @@ DEFAULT_INTERVAL = 10_000
 
 
 class MetricsRegistry:
-    """Counters, gauges and interval-sampled time series."""
+    """Counters, gauges and interval-sampled time series.
 
-    __slots__ = ("interval", "counters", "gauges", "_series", "_next_due")
+    ``max_points`` (optional) bounds every series' memory for always-on
+    sampling: when a series would exceed it, the series is decimated by
+    deterministically dropping every other point (keeping the even
+    indices, i.e. the oldest point and every second one after it) — the
+    series keeps its full time extent at half the resolution, and
+    repeated runs of one configuration still dump byte-identical JSON.
+    The default (``None``) keeps every point, unchanged from before.
+    """
 
-    def __init__(self, interval: int = DEFAULT_INTERVAL) -> None:
+    __slots__ = ("interval", "max_points", "counters", "gauges", "_series", "_next_due")
+
+    def __init__(
+        self, interval: int = DEFAULT_INTERVAL, max_points: Optional[int] = None
+    ) -> None:
         if interval < 1:
             raise ConfigurationError("metrics interval must be >= 1 cycle")
+        if max_points is not None and max_points < 2:
+            raise ConfigurationError("metrics max_points must be >= 2")
         self.interval = interval
+        self.max_points = max_points
         self.counters: Dict[str, int] = {}
         self.gauges: Dict[str, float] = {}
         self._series: Dict[str, Tuple[List[int], List[float]]] = {}
@@ -78,6 +92,10 @@ class MetricsRegistry:
             self._series[name] = series
         series[0].append(now)
         series[1].append(value)
+        cap = self.max_points
+        if cap is not None and len(series[0]) > cap:
+            series[0][:] = series[0][0::2]
+            series[1][:] = series[1][0::2]
 
     def series(self, name: str) -> Tuple[List[int], List[float]]:
         """The ``(times, values)`` arrays of one series."""
@@ -95,6 +113,7 @@ class MetricsRegistry:
         """A JSON-serializable snapshot of everything recorded."""
         return {
             "interval": self.interval,
+            "max_points": self.max_points,
             "counters": dict(sorted(self.counters.items())),
             "gauges": dict(sorted(self.gauges.items())),
             "series": {

@@ -112,6 +112,35 @@ V1_ARG_DEFAULTS: Dict[Tuple[str, str], int] = {
 }
 
 
+def encode_meta_line() -> str:
+    """The ``trace_meta`` header line (no trailing newline)."""
+    return json.dumps(
+        {"kind": TRACE_META_KIND, "schema": TRACE_SCHEMA_VERSION},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+
+
+def encode_event_line(kind: str, tid: int, ts: int, a: int, b: int, c: int) -> str:
+    """Encode one event as its canonical JSONL line (no trailing newline).
+
+    Single source of the byte format: :meth:`TraceRecorder.to_jsonl`,
+    the streaming :meth:`TraceRecorder.write_jsonl` and the live
+    :class:`repro.obs.live.StreamingRecorder` spill all route through
+    here, which is what makes the incremental spill byte-identical to a
+    post-hoc export.
+    """
+    doc = {"kind": kind, "tid": tid, "ts": ts}
+    names = ARG_NAMES.get(kind, ("a", "b", "c"))
+    if names[0] is not None:
+        doc[names[0]] = a
+    if names[1] is not None:
+        doc[names[1]] = b
+    if names[2] is not None:
+        doc[names[2]] = c
+    return json.dumps(doc, sort_keys=True, separators=(",", ":"))
+
+
 class TraceEvent(NamedTuple):
     """One decoded trace event (the recorder stores parallel arrays)."""
 
@@ -160,6 +189,15 @@ class TraceRecorder:
         self._a.append(a)
         self._b.append(b)
         self._c.append(c)
+
+    def on_quantum(self, thread_id: int, now: int) -> None:
+        """Scheduler window-boundary hook; the plain recorder ignores it.
+
+        The machine calls this once per scheduler quantum (both the
+        per-event and batched paths).  Streaming recorders use it to
+        close cycle windows and spill; the buffering recorder has
+        nothing to do.
+        """
 
     def clear(self) -> None:
         """Drop every buffered event."""
@@ -220,24 +258,20 @@ class TraceRecorder:
             args[names[2]] = e.c
         return args
 
-    def to_jsonl(self) -> str:
-        """One JSON object per line, sorted keys — deterministic bytes.
+    def iter_jsonl(self) -> Iterator[str]:
+        """Yield the JSONL export line by line (each with its newline).
 
         The first line is always a ``trace_meta`` header declaring the
         schema version, even for an empty trace.
         """
-        lines = [
-            json.dumps(
-                {"kind": TRACE_META_KIND, "schema": TRACE_SCHEMA_VERSION},
-                sort_keys=True,
-                separators=(",", ":"),
-            )
-        ]
-        for e in self.events():
-            doc = {"kind": e.kind, "tid": e.thread_id, "ts": e.time}
-            doc.update(self._event_args(e))
-            lines.append(json.dumps(doc, sort_keys=True, separators=(",", ":")))
-        return "\n".join(lines) + "\n"
+        yield encode_meta_line() + "\n"
+        kinds, tids, times, aa, bb, cc = self.columns()
+        for i in range(len(kinds)):
+            yield encode_event_line(kinds[i], tids[i], times[i], aa[i], bb[i], cc[i]) + "\n"
+
+    def to_jsonl(self) -> str:
+        """One JSON object per line, sorted keys — deterministic bytes."""
+        return "".join(self.iter_jsonl())
 
     def to_chrome(self) -> Dict:
         """The Chrome ``trace_event`` document (open in Perfetto).
@@ -293,9 +327,15 @@ class TraceRecorder:
         }
 
     def write_jsonl(self, path: str) -> None:
-        """Write the JSONL export to ``path``."""
+        """Write the JSONL export to ``path``, streaming line by line.
+
+        Never materializes the whole document, so peak memory at export
+        time stays at one line regardless of trace size; the bytes are
+        identical to ``to_jsonl()``.
+        """
         with open(path, "w", encoding="utf-8") as fh:
-            fh.write(self.to_jsonl())
+            for line in self.iter_jsonl():
+                fh.write(line)
 
     def write_chrome(self, path: str) -> None:
         """Write the Chrome trace_event export to ``path``."""
@@ -376,6 +416,9 @@ class NullRecorder:
     def record(
         self, kind: str, thread_id: int, time: int, a: int = 0, b: int = 0, c: int = 0
     ) -> None:
+        """Deliberately empty."""
+
+    def on_quantum(self, thread_id: int, now: int) -> None:
         """Deliberately empty."""
 
     def __len__(self) -> int:

@@ -146,6 +146,33 @@ def test_write_exports(tmp_path):
     assert json.loads(chrome.read_text()) == rec.to_chrome()
 
 
+def test_iter_jsonl_streams_lines_lazily():
+    import types
+
+    rec = TraceRecorder()
+    rec.record(EV_FASE_BEGIN, 0, 1, 1)
+    rec.record(EV_EVICT_FLUSH, 1, 2, 9, 1, 0)
+    it = rec.iter_jsonl()
+    assert isinstance(it, types.GeneratorType)
+    lines = list(it)
+    # header + one line per event, each newline-terminated, and joining
+    # them reproduces the document byte for byte.
+    assert len(lines) == 3
+    assert all(line.endswith("\n") for line in lines)
+    assert "".join(lines) == rec.to_jsonl()
+
+
+def test_write_jsonl_streams_byte_identically(tmp_path):
+    rec = TraceRecorder()
+    for i in range(50):
+        rec.record(EV_EVICT_FLUSH, i % 3, 10 * i, i, 1, 0)
+        rec.record(EV_DRAIN, i % 3, 10 * i + 5, 3, 3, i)
+    path = tmp_path / "t.jsonl"
+    rec.write_jsonl(str(path))
+    assert path.read_text() == rec.to_jsonl()
+    assert parse_jsonl(path.read_text()).counts() == rec.counts()
+
+
 def test_null_recorder_is_inert():
     assert NULL_RECORDER.enabled is False
     assert TraceRecorder.enabled is True
@@ -214,3 +241,25 @@ def test_metrics_json_round_trips(tmp_path):
     m.write_json(str(path))
     assert json.loads(path.read_text()) == m.to_dict()
     assert m.to_dict()["interval"] == 10
+
+
+def test_max_points_decimates_series_in_place():
+    m = MetricsRegistry(interval=10, max_points=4)
+    for i in range(5):
+        m.sample("depth", i * 10, float(i))
+    # Exceeding the cap keeps every other point (the decimated series
+    # still spans the run; interval granularity halves).
+    ts, vs = m.series("depth")
+    assert ts == [0, 20, 40]
+    assert vs == [0.0, 2.0, 4.0]
+    assert m.to_dict()["max_points"] == 4
+    with pytest.raises(ConfigurationError):
+        MetricsRegistry(interval=10, max_points=1)
+
+
+def test_max_points_default_is_unbounded():
+    m = MetricsRegistry(interval=10)
+    for i in range(100):
+        m.sample("depth", i * 10, float(i))
+    assert len(m.series("depth")[0]) == 100
+    assert m.to_dict()["max_points"] is None
