@@ -44,6 +44,18 @@ from repro.experiments.metrics import format_table, geometric_mean
 #: Default tolerated geomean throughput regression, percent.
 DEFAULT_MAX_REGRESS = 3.0
 
+#: Absolute gates on the *new* document (not ratios): the harness
+#: parallel sweep must beat sequential by this factor at >= 4 jobs, and
+#: the streaming recorder's spill-inclusive run must stay within this
+#: multiple of the null-recorder run.  The parallel gate only binds when
+#: the host can actually run the workers (``advisory`` false, i.e.
+#: ``cpus_available >= jobs``) — a single-CPU container serializes the
+#: workers and measures pure overhead, which is a host artifact, noted
+#: rather than failed.
+PARALLEL_SPEEDUP_FLOOR = 2.0
+PARALLEL_GATE_MIN_JOBS = 4
+STREAMING_OVERHEAD_CEILING = 1.5
+
 #: Exit codes: 0 ok, 1 regression beyond threshold, 2 incomparable docs.
 EXIT_OK = 0
 EXIT_REGRESSION = 1
@@ -156,10 +168,54 @@ def compare(
             f"(older document); streaming throughput not gated"
         )
 
+    # -- absolute gates on the new document -----------------------------
+    parallel_speedup: Optional[float] = None
+    parallel_gate: Optional[str] = None
+    harness = new.get("harness") or {}
+    if "parallel_speedup" in harness:
+        parallel_speedup = float(harness["parallel_speedup"])
+        jobs = int(harness.get("jobs") or 0)
+        advisory = harness.get("advisory")
+        available = harness.get("cpus_available", harness.get("cpus"))
+        if advisory is None:
+            advisory = (
+                available is not None and jobs > 0 and available < jobs
+            )
+        if advisory:
+            parallel_gate = "advisory"
+            notes.append(
+                f"harness parallel section advisory (cpus_available "
+                f"{available} < jobs {jobs}): speedup "
+                f"{parallel_speedup}x noted, not gated"
+            )
+        elif jobs < PARALLEL_GATE_MIN_JOBS:
+            parallel_gate = "advisory"
+            notes.append(
+                f"harness parallel sweep ran with jobs={jobs} < "
+                f"{PARALLEL_GATE_MIN_JOBS}: speedup {parallel_speedup}x "
+                f"noted, not gated (the {PARALLEL_SPEEDUP_FLOOR}x floor "
+                f"is defined at {PARALLEL_GATE_MIN_JOBS} jobs)"
+            )
+        else:
+            parallel_gate = (
+                "pass" if parallel_speedup >= PARALLEL_SPEEDUP_FLOOR else "fail"
+            )
+
+    streaming_overhead: Optional[float] = None
+    streaming_gate: Optional[str] = None
+    streaming = new.get("streaming_recorder") or {}
+    if "streaming_overhead" in streaming:
+        streaming_overhead = float(streaming["streaming_overhead"])
+        streaming_gate = (
+            "pass" if streaming_overhead <= STREAMING_OVERHEAD_CEILING else "fail"
+        )
+
     ok = (
         regress_pct <= max_regress
         and (analyzer_regress_pct is None or analyzer_regress_pct <= max_regress)
         and (streaming_regress_pct is None or streaming_regress_pct <= max_regress)
+        and parallel_gate != "fail"
+        and streaming_gate != "fail"
     )
     return {
         "schema_version": base_schema,
@@ -171,6 +227,10 @@ def compare(
         "analyzer_regress_pct": analyzer_regress_pct,
         "streaming_ratio": streaming_ratio,
         "streaming_regress_pct": streaming_regress_pct,
+        "parallel_speedup": parallel_speedup,
+        "parallel_gate": parallel_gate,
+        "streaming_overhead": streaming_overhead,
+        "streaming_gate": streaming_gate,
         "regress_pct": regress_pct,
         "max_regress": max_regress,
         "ok": ok,
@@ -216,9 +276,22 @@ def format_report(verdict: Dict) -> str:
             f"(regression {verdict['streaming_regress_pct']:+.1f}%, "
             f"threshold {verdict['max_regress']:.1f}%)"
         )
+    if verdict.get("parallel_speedup") is not None:
+        gate = verdict["parallel_gate"]
+        lines.append(
+            f"parallel_speedup   {verdict['parallel_speedup']:.2f}x "
+            f"(floor {PARALLEL_SPEEDUP_FLOOR:.1f}x at "
+            f">= {PARALLEL_GATE_MIN_JOBS} jobs: {gate})"
+        )
+    if verdict.get("streaming_overhead") is not None:
+        lines.append(
+            f"streaming_overhead {verdict['streaming_overhead']:.3f}x "
+            f"(ceiling {STREAMING_OVERHEAD_CEILING:.1f}x: "
+            f"{verdict['streaming_gate']})"
+        )
     for note in verdict["notes"]:
         lines.append(f"note: {note}")
-    lines.append("PASS" if verdict["ok"] else "FAIL: throughput regression")
+    lines.append("PASS" if verdict["ok"] else "FAIL: perf gate violated")
     return "\n".join(lines)
 
 

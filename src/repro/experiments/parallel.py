@@ -1,27 +1,41 @@
-"""Process-parallel execution of experiment grids.
+"""Process-parallel execution of experiment grids and sharded runs.
 
 The harness's unit of work — one ``(workload, technique, threads)`` cell
 under a frozen :class:`HarnessConfig` — is a pure, deterministic
 function (``execute_cell``), so cells can run in any order in any
-process and produce bit-identical results.  This module fans a grid over
-``concurrent.futures.ProcessPoolExecutor`` in two phases:
+process and produce bit-identical results.  Earlier versions fanned a
+grid over ``ProcessPoolExecutor`` with one future per group and a hard
+barrier between the profiling and cell phases; this module replaces that
+with fork-once workers over a shared work queue
+(:class:`~repro.experiments.transport.WorkerPool`):
 
-1. **Summaries** — the distinct workloads with SC/SC-offline cells each
-   need one profiling pass (single-thread BEST run + MRC knee).  Those
-   are mapped over the pool first, because every SC cell of a workload
-   depends on its summary and nothing else does.
-2. **Cells** — every remaining cell is submitted with the summaries in
-   hand; workers check the shared on-disk cache before simulating and
-   publish what they compute, so concurrent invocations cooperate.
+- **Fork once, reuse everywhere.**  ``jobs`` workers spawn once per
+  sweep with the frozen config preloaded; each builds its ``Harness``
+  a single time and keeps it across tasks, so a workload's materialized
+  batch columns amortize over *every* group that worker pulls, not just
+  one.
+- **Work stealing, no phase barrier.**  ``(workload, threads)`` groups
+  sit in one shared queue — whichever worker drains first pulls the next
+  group, so imbalanced groups level out by construction.  Summary
+  (profiling) tasks are enqueued first and *only the groups that need
+  them* wait; everything else starts immediately, and a group blocked on
+  a summary is released the moment that summary lands.
+- **Shared-memory transport.**  Small control tuples cross the queues;
+  bulk event data (recorded profile traces, shard batch columns) crosses
+  as ``multiprocessing.shared_memory`` manifests
+  (:mod:`repro.experiments.transport`) — no pickling of event data.
+  Profile traces shipped back this way let the parent adopt the worker's
+  profiling run, making trace-consuming artifacts (figure2/figure7) free
+  after an ``--artifact all`` sweep.
 
-Everything shipped to workers is picklable by construction: frozen
-config dataclasses, plain tuples, :class:`ProfileSummary`; results come
-back as trace-free :class:`RunResult` dataclasses.
+The same pool executes **sharded single runs**: one large simulation is
+split across workers by spatially hashing its line space
+(:mod:`repro.nvram.sharded`), each worker simulating one shard machine
+and the parent merging per-shard results at the final drain barrier.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor, as_completed
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.harness import (
@@ -30,42 +44,93 @@ from repro.experiments.harness import (
     HarnessConfig,
     ProfileSummary,
 )
+from repro.experiments.transport import (
+    WorkerPool,
+    attach_batches,
+    attach_traces,
+    share_batches,
+    share_traces,
+    unlink_segment,
+)
+from repro.nvram.stats import RunResult
 
 #: Techniques whose cells require a profiling pass first.
 _NEEDS_SUMMARY = ("SC", "SC-offline")
 
 
 # ---------------------------------------------------------------------------
-# Worker entry points (module-level: they must pickle by reference).
+# Worker-side task handlers
 # ---------------------------------------------------------------------------
 
 
-def _summary_worker(
-    config: HarnessConfig, cache_dir: Optional[str], name: str
-) -> Tuple[str, ProfileSummary]:
-    """Phase 1: compute (or load from disk) one workload's summary."""
-    harness = Harness(config, cache_dir=cache_dir)
-    return name, harness.profile_summary(name)
+def make_task_handlers(
+    config: Optional[HarnessConfig], cache_dir: Optional[str]
+) -> Dict[str, object]:
+    """Build one worker's task handlers around its once-built state.
 
-
-def _cells_worker(
-    config: HarnessConfig,
-    cache_dir: Optional[str],
-    summaries: Dict[str, ProfileSummary],
-    cells: List[Cell],
-):
-    """Phase 2: compute (or load from disk) one group of grid cells.
-
-    A group shares one ``(workload, threads)`` pair, so the worker's
-    harness materializes the batch columns once and replays them for
-    every technique — the same amortization the sequential sweep gets.
+    Called exactly once per worker process by the pool's worker loop.
+    The harness is created lazily on the first harness-needing task (a
+    pool running only ``"shard"`` tasks never builds one) and then kept
+    for the worker's lifetime — the fork-once discipline that lets batch
+    materializations amortize across every task the worker pulls.
     """
-    harness = Harness(config, cache_dir=cache_dir)
-    harness.preload_summaries(summaries)
-    return [
-        (cell, harness.run(*cell))
-        for cell in cells
-    ]
+    state: Dict[str, Harness] = {}
+
+    def get_harness() -> Harness:
+        harness = state.get("harness")
+        if harness is None:
+            harness = Harness(config, cache_dir=cache_dir)
+            state["harness"] = harness
+        return harness
+
+    def handle_summary(payload) -> Tuple:
+        """(name, want_trace) -> (name, summary, profile_doc, trace_manifest).
+
+        ``profile_doc``/``trace_manifest`` ship the profiling run's
+        counters and recorded traces (via shared memory) when the
+        summary was computed here rather than loaded from disk; the
+        parent adopts them so later trace requests cost nothing.
+        """
+        name, want_trace = payload
+        harness = get_harness()
+        summary = harness.profile_summary(name)
+        profile_doc = None
+        trace_manifest = None
+        if want_trace:
+            profile = harness._profiles.get((name, 1))
+            if profile is not None and profile.traces:
+                profile_doc = profile.to_dict()
+                trace_manifest = share_traces(profile.traces)
+        return (name, summary, profile_doc, trace_manifest)
+
+    def handle_cells(payload) -> List[Tuple[Cell, Dict]]:
+        """(summaries, cells) -> [(cell, result_doc), ...].
+
+        A group shares one ``(workload, threads)`` pair, so the worker's
+        harness materializes the batch columns once and replays them for
+        every technique — and, because the harness persists across
+        tasks, for every *later* group of the same workload too.
+        """
+        summaries, cells = payload
+        harness = get_harness()
+        harness.preload_summaries(summaries)
+        return [(cell, harness.run(*cell).to_dict()) for cell in cells]
+
+    def handle_shard(payload) -> Dict:
+        """One shard of a sharded run; batches arrive via shared memory."""
+        from repro.cache.policies import make_factory
+        from repro.nvram.sharded import run_one_shard
+
+        name, technique, factory_kwargs, manifest, shard_config, seed = payload
+        batches = attach_batches(manifest)
+        factory = make_factory(technique, **factory_kwargs)
+        return run_one_shard(shard_config, name, factory, batches, seed).to_dict()
+
+    return {
+        "summary": handle_summary,
+        "cells": handle_cells,
+        "shard": handle_shard,
+    }
 
 
 # ---------------------------------------------------------------------------
@@ -79,11 +144,13 @@ def run_grid_parallel(
     jobs: int,
     progress=None,
 ):
-    """Fan ``cells`` over ``jobs`` worker processes.
+    """Fan ``cells`` over ``jobs`` fork-once worker processes.
 
     Cells already in the harness's memory cache are served from it;
     everything computed by workers is folded back in, so the calling
-    harness ends up in the same state as after a sequential sweep.
+    harness ends up in the same state as after a sequential sweep —
+    including profiling runs: summaries *and* their recorded traces are
+    adopted from workers.
 
     ``progress``, if given, is called as ``progress(done, total, cell)``
     after every completed cell — the per-cell heartbeat long parallel
@@ -96,7 +163,7 @@ def run_grid_parallel(
 
     notify = resolve_grid_progress(progress)
     cells = list(dict.fromkeys(cells))
-    results: Dict[Cell, object] = {}
+    results: Dict[Cell, RunResult] = {}
     pending: List[Cell] = []
     for cell in cells:
         cached = harness._runs.get(cell)
@@ -109,43 +176,148 @@ def run_grid_parallel(
     if not pending:
         return results
 
-    config = harness.config
-    cache_dir = harness.cache_dir
-    need_summary = sorted(
-        {
-            name
-            for (name, technique, _threads) in pending
-            if technique in _NEEDS_SUMMARY and name not in harness._summaries
-        }
+    # Group cells sharing a (workload, threads) pair: the worker that
+    # pulls a group materializes that stream's batch columns once for
+    # all of the group's techniques.
+    groups: Dict[Tuple[str, int], List[Cell]] = {}
+    for cell in pending:
+        name, _technique, threads = cell
+        groups.setdefault((name, threads), []).append(cell)
+
+    need_summary = {
+        name
+        for (name, technique, _threads) in pending
+        if technique in _NEEDS_SUMMARY and name not in harness._summaries
+    }
+
+    def group_summaries(key: Tuple[str, int]) -> Dict[str, ProfileSummary]:
+        name = key[0]
+        if any(t in _NEEDS_SUMMARY for (_n, t, _th) in groups[key]):
+            return {name: harness._summaries[name]}
+        return {}
+
+    def group_blocked(key: Tuple[str, int]) -> bool:
+        return key[0] in need_summary and any(
+            t in _NEEDS_SUMMARY for (_n, t, _th) in groups[key]
+        )
+
+    # Largest groups first, so stragglers start early and small groups
+    # backfill — the usual longest-processing-time heuristic.
+    by_size = sorted(
+        groups, key=lambda key: (-len(groups[key]) * key[1], key)
     )
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
-        if need_summary:
-            futures = [
-                pool.submit(_summary_worker, config, cache_dir, name)
-                for name in need_summary
-            ]
-            for future in as_completed(futures):
-                name, summary = future.result()
+    blocked: Dict[str, List[Tuple[str, int]]] = {}
+    with WorkerPool(jobs, (harness.config, harness.cache_dir)) as pool:
+        task_kind: Dict[int, str] = {}
+        for name in sorted(need_summary):
+            task_kind[pool.submit("summary", (name, True))] = "summary"
+        for key in by_size:
+            if group_blocked(key):
+                blocked.setdefault(key[0], []).append(key)
+            else:
+                task_id = pool.submit("cells", (group_summaries(key), groups[key]))
+                task_kind[task_id] = "cells"
+        while pool.outstanding:
+            task_id, payload = pool.next_result()
+            if task_kind.pop(task_id) == "summary":
+                name, summary, profile_doc, trace_manifest = payload
                 harness._summaries[name] = summary
-        summaries = dict(harness._summaries)
-        # Group cells sharing a (workload, threads) pair: one worker
-        # materializes that stream's batch columns once for all of the
-        # group's techniques, instead of once per cell.
-        groups: Dict[Tuple[str, int], List[Cell]] = {}
-        for cell in pending:
-            name, _technique, threads = cell
-            groups.setdefault((name, threads), []).append(cell)
-        futures = [
-            pool.submit(_cells_worker, config, cache_dir, summaries, group)
-            for group in groups.values()
-        ]
-        for future in as_completed(futures):
-            for cell, result in future.result():
-                harness._runs[cell] = result
-                results[cell] = result
-                if notify is not None:
-                    notify(len(results), len(cells), cell, result)
+                if trace_manifest is not None:
+                    try:
+                        profile = RunResult.from_dict(profile_doc)
+                        profile.traces = attach_traces(trace_manifest)
+                    finally:
+                        unlink_segment(trace_manifest)
+                    harness._profiles.setdefault((name, 1), profile)
+                for key in blocked.pop(name, ()):
+                    task_id = pool.submit(
+                        "cells", (group_summaries(key), groups[key])
+                    )
+                    task_kind[task_id] = "cells"
+            else:
+                for cell, doc in payload:
+                    result = RunResult.from_dict(doc)
+                    harness._runs[cell] = result
+                    results[cell] = result
+                    if notify is not None:
+                        notify(len(results), len(cells), cell, result)
     return results
+
+
+# ---------------------------------------------------------------------------
+# Sharded single-run execution
+# ---------------------------------------------------------------------------
+
+
+def run_sharded_parallel(
+    config,
+    workload,
+    technique: str,
+    jobs: int,
+    *,
+    num_threads: int = 1,
+    seed: int = 0,
+    num_shards: Optional[int] = None,
+    barrier_every: Optional[int] = None,
+    factory_kwargs: Optional[Dict] = None,
+):
+    """Scale *within* one run: shards of one simulation across workers.
+
+    Splits ``workload``'s line space into ``num_shards`` (default
+    ``jobs``) substreams with the SHARDS spatial hash, ships each
+    shard's batch columns to a worker through shared memory, simulates
+    the shard machines concurrently and merges their results at the
+    final drain barrier (:func:`repro.nvram.sharded.merge_shard_results`).
+    Returns the same :class:`~repro.nvram.sharded.ShardedRun` the
+    sequential reference (:func:`repro.nvram.sharded.run_sharded`)
+    returns, bit-identically — shard execution is deterministic and
+    merge order is shard order regardless of completion order.
+
+    ``technique`` is a ``repro.cache.policies.make_factory`` name;
+    ``factory_kwargs`` its keyword arguments (e.g. ``sc_fixed_size``).
+    """
+    from repro.nvram.sharded import (
+        DEFAULT_BARRIER_EVERY,
+        ShardedRun,
+        merge_shard_results,
+        shard_machine_config,
+        split_workload,
+    )
+
+    if num_shards is None:
+        num_shards = max(1, jobs)
+    if barrier_every is None:
+        barrier_every = DEFAULT_BARRIER_EVERY
+    per_shard, stats = split_workload(
+        workload, num_threads, seed, num_shards, barrier_every
+    )
+    shard_config = shard_machine_config(config, num_shards)
+    name = getattr(workload, "name", "sharded")
+    kwargs = dict(factory_kwargs or {})
+    manifests = [share_batches(per_shard[s]) for s in range(num_shards)]
+    docs: List[Optional[Dict]] = [None] * num_shards
+    try:
+        with WorkerPool(min(jobs, num_shards), (None, None)) as pool:
+            shard_of_task = {
+                pool.submit(
+                    "shard",
+                    (name, technique, kwargs, manifests[s], shard_config, seed),
+                ): s
+                for s in range(num_shards)
+            }
+            while pool.outstanding:
+                task_id, doc = pool.next_result()
+                docs[shard_of_task[task_id]] = doc
+    finally:
+        for manifest in manifests:
+            unlink_segment(manifest)
+    shards = [RunResult.from_dict(doc) for doc in docs]
+    return ShardedRun(
+        merged=merge_shard_results(shards),
+        shards=shards,
+        split_stats=stats,
+        num_shards=num_shards,
+    )
 
 
 # ---------------------------------------------------------------------------

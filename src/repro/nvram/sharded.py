@@ -1,0 +1,351 @@
+"""Sharded execution: scale *within* one run by partitioning line space.
+
+``Machine.run`` is single-process by construction; grids parallelize
+across cells, but one large simulation still runs on one core.  This
+module splits a run into ``num_shards`` independent sub-simulations by
+spatially hashing cache-line ids (the SHARDS hash,
+:func:`repro.locality.shards.shard_of_lines`), so shards can simulate
+concurrently — in-process here, across worker processes in
+``repro.experiments.parallel.run_sharded_parallel``.
+
+**The drain-barrier merge rule.**  Every built-in technique fully drains
+at the end of an *outermost* FASE: SC empties its write-combining cache,
+LA flushes its pending set, AT drains its table (enforced by
+``tests/test_policies.py``).  Outermost-FASE ends are therefore *renewal
+points* — no technique state survives them — and the shard machines,
+which replicate every FASE boundary, are mutually independent between
+consecutive drain barriers.  Shard results may consequently be merged
+exactly at any barrier (in particular at the end of the run): counters
+that partition by line sum across shards; replicated quantities (FASE
+count) take the per-shard value; wall-clock takes the slowest shard.
+:func:`split_batches` cuts every shard substream's batch boundaries on
+drain barriers so the chunk structure mirrors the merge rule.
+
+**What the split preserves bit-identically.**  Stores and loads route
+whole to the shard of their first line; FASE begin/end markers replicate
+to every shard; ``Work(n)`` splits into near-equal integer parts that
+sum to ``n``.  For techniques whose flush decisions are per-store or
+per-(FASE, line) set properties — ER, LA, BEST — the merged result's
+store, load, flush (every category) and instruction counters equal the
+unsharded machine's **bit for bit** whenever no store spans a
+shard boundary (``split stats["cross_shard_spans"] == 0``; multi-line
+stores travel with their first line, so a span crossing shards can
+double-count one line in LA's per-FASE distinct set).  Capacity-driven
+techniques (SC, AT) evict in LRU/occupancy order over the *global*
+within-FASE interleaving, which no line partition preserves; for them —
+and for hardware-cache and cycle/stall counters generally — the sharded
+run is a documented model variant (per-shard caches at
+``capacity / num_shards``, the partitioning
+:func:`shard_machine_config` applies), and the guarantee is
+determinism: concurrent execution is bit-identical to the sequential
+shard-by-shard reference for *every* technique and counter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError
+from repro.common.events import BATCH_CHUNK, EventBatch, EventKind
+from repro.locality.shards import shard_of_lines
+from repro.nvram.machine import Machine, MachineConfig
+from repro.nvram.stats import RunResult, ThreadStats
+from repro.workloads.base import PrebuiltBatchWorkload, Workload
+
+#: Outermost FASEs per barrier-aligned batch cut.  Any multiple of a
+#: drain barrier is still a drain barrier; cutting on every single FASE
+#: end would shred FASE-heavy streams into tiny batches.
+DEFAULT_BARRIER_EVERY = 64
+
+
+def shard_machine_config(config: MachineConfig, num_shards: int) -> MachineConfig:
+    """The per-shard machine geometry: the L1 partitioned across shards.
+
+    Total hardware capacity is conserved (each shard machine gets
+    ``capacity / num_shards``, rounded down to whole sets, floor one
+    set), mirroring how the line space itself is partitioned.
+    """
+    if num_shards < 1:
+        raise ConfigurationError(f"num_shards must be >= 1, got {num_shards}")
+    capacity = config.l1_capacity_lines // num_shards
+    capacity -= capacity % config.l1_ways
+    capacity = max(config.l1_ways, capacity)
+    return replace(config, l1_capacity_lines=capacity)
+
+
+# ---------------------------------------------------------------------------
+# Stream splitting
+# ---------------------------------------------------------------------------
+
+
+def split_batches(
+    batches: Iterable[EventBatch],
+    num_shards: int,
+    barrier_every: int = DEFAULT_BARRIER_EVERY,
+) -> tuple:
+    """Split one thread's batch stream into ``num_shards`` substreams.
+
+    Returns ``(per_shard, stats)``: ``per_shard[s]`` is the list of
+    barrier-aligned :class:`EventBatch` chunks shard ``s`` executes, and
+    ``stats`` records what the split did (event conservation inputs and
+    the ``cross_shard_spans`` count the exactness guarantee checks).
+    """
+    if num_shards < 1:
+        raise ConfigurationError(f"num_shards must be >= 1, got {num_shards}")
+    if barrier_every < 1:
+        raise ConfigurationError(f"barrier_every must be >= 1, got {barrier_every}")
+    builders = [EventBatch() for _ in range(num_shards)]
+    out: List[List[EventBatch]] = [[] for _ in range(num_shards)]
+    stats = {
+        "events": 0,
+        "stores": 0,
+        "loads": 0,
+        "work_amount": 0,
+        "fases": 0,
+        "barriers": 0,
+        "cross_shard_spans": 0,
+    }
+    depth = 0
+    kind_store = EventKind.STORE
+    kind_load = EventKind.LOAD
+    kind_work = EventKind.WORK
+    kind_begin = EventKind.FASE_BEGIN
+    for batch in batches:
+        kinds = batch.kinds.tolist()
+        args = batch.args.tolist()
+        sizes = batch.sizes.tolist()
+        n = len(kinds)
+        stats["events"] += n
+        if n == 0:
+            continue
+        # Shard of every event's first line, vectorised; only consulted
+        # for stores/loads (>> 6 == line_of for the 64-byte line size).
+        shards = shard_of_lines(
+            np.array(args, dtype=np.int64) >> 6, num_shards
+        ).tolist()
+        for i in range(n):
+            kind = kinds[i]
+            if kind == kind_store or kind == kind_load:
+                shard = shards[i]
+                builder = builders[shard]
+                builder.kinds.append(kind)
+                builder.args.append(args[i])
+                builder.sizes.append(sizes[i])
+                if kind == kind_store:
+                    stats["stores"] += 1
+                else:
+                    stats["loads"] += 1
+                first = args[i] >> 6
+                last = (args[i] + max(1, sizes[i]) - 1) >> 6
+                if last != first:
+                    span = np.arange(first, last + 1, dtype=np.int64)
+                    if bool((shard_of_lines(span, num_shards) != shard).any()):
+                        stats["cross_shard_spans"] += 1
+            elif kind == kind_work:
+                amount = args[i]
+                stats["work_amount"] += amount
+                base, rem = divmod(amount, num_shards)
+                for shard in range(num_shards):
+                    part = base + (1 if shard < rem else 0)
+                    if part:
+                        builder = builders[shard]
+                        builder.kinds.append(kind_work)
+                        builder.args.append(part)
+                        builder.sizes.append(0)
+            elif kind == kind_begin:
+                depth += 1
+                for builder in builders:
+                    builder.append_fase_begin()
+            else:  # FASE_END
+                depth -= 1
+                for builder in builders:
+                    builder.append_fase_end()
+                if depth == 0:
+                    stats["fases"] += 1
+                    if stats["fases"] % barrier_every == 0:
+                        stats["barriers"] += 1
+                        for shard in range(num_shards):
+                            if len(builders[shard]):
+                                out[shard].append(builders[shard])
+                                builders[shard] = EventBatch()
+        # Bound chunk size between barriers (a cut inside a FASE is just
+        # a chunk boundary; barrier alignment concerns merge points).
+        for shard in range(num_shards):
+            if len(builders[shard]) >= BATCH_CHUNK:
+                out[shard].append(builders[shard])
+                builders[shard] = EventBatch()
+    for shard in range(num_shards):
+        if len(builders[shard]):
+            out[shard].append(builders[shard])
+    return out, stats
+
+
+def split_workload(
+    workload: Workload,
+    num_threads: int,
+    seed: int,
+    num_shards: int,
+    barrier_every: int = DEFAULT_BARRIER_EVERY,
+) -> tuple:
+    """Materialize and split every thread's stream.
+
+    Returns ``(per_shard, stats)`` where ``per_shard[s][t]`` is thread
+    ``t``'s batch list for shard ``s`` and ``stats`` aggregates the
+    per-thread split stats.
+    """
+    streams = workload.batch_streams(num_threads, seed)
+    if streams is None:
+        from repro.common.events import batches_from_events
+
+        streams = [
+            batches_from_events(s) for s in workload.streams(num_threads, seed)
+        ]
+    per_shard: List[List[List[EventBatch]]] = [
+        [] for _ in range(num_shards)
+    ]
+    totals: Dict[str, int] = {}
+    for stream in streams:
+        split, stats = split_batches(stream, num_shards, barrier_every)
+        for key, value in stats.items():
+            totals[key] = totals.get(key, 0) + value
+        for shard in range(num_shards):
+            per_shard[shard].append(split[shard])
+    return per_shard, totals
+
+
+# ---------------------------------------------------------------------------
+# Execution and merging
+# ---------------------------------------------------------------------------
+
+#: ThreadStats counters that partition by line/event and therefore sum.
+_SUMMED_FIELDS = (
+    "instructions",
+    "persistent_stores",
+    "persistent_loads",
+    "flushes",
+    "eviction_flushes",
+    "fase_end_flushes",
+    "eager_flushes",
+    "log_flushes",
+    "final_flushes",
+    "stall_cycles",
+    "technique_overhead_cycles",
+    "adaptation_cycles",
+)
+
+
+def merge_shard_results(shard_results: Sequence[RunResult]) -> RunResult:
+    """Apply the drain-barrier merge rule to per-shard results.
+
+    Per thread: partitioned counters sum across shards; ``cycles`` is
+    the slowest shard's clock (shards run concurrently); ``fase_count``
+    is the replicated per-shard value; ``selected_sizes`` concatenates
+    in shard order.  Hardware counters sum.  Traces are never merged
+    (shard-local recording order does not define a global order).
+    """
+    if not shard_results:
+        raise ConfigurationError("no shard results to merge")
+    first = shard_results[0]
+    num_threads = first.num_threads
+    for r in shard_results[1:]:
+        if r.num_threads != num_threads:
+            raise ConfigurationError(
+                "shard results disagree on thread count: "
+                f"{r.num_threads} != {num_threads}"
+            )
+    threads: List[ThreadStats] = []
+    for t in range(num_threads):
+        per = [r.threads[t] for r in shard_results]
+        merged = ThreadStats(thread_id=per[0].thread_id)
+        for name in _SUMMED_FIELDS:
+            setattr(merged, name, sum(getattr(p, name) for p in per))
+        merged.cycles = max(p.cycles for p in per)
+        fase_counts = {p.fase_count for p in per}
+        if len(fase_counts) != 1:
+            raise ConfigurationError(
+                f"shards of thread {t} disagree on fase_count {sorted(fase_counts)}; "
+                f"FASE markers must replicate to every shard"
+            )
+        merged.fase_count = fase_counts.pop()
+        merged.selected_sizes = [s for p in per for s in p.selected_sizes]
+        threads.append(merged)
+    return RunResult(
+        workload=first.workload,
+        technique=first.technique,
+        num_threads=num_threads,
+        threads=threads,
+        l1_accesses=sum(r.l1_accesses for r in shard_results),
+        l1_misses=sum(r.l1_misses for r in shard_results),
+        traces=None,
+        crashed=any(r.crashed for r in shard_results),
+    )
+
+
+def run_one_shard(
+    shard_config: MachineConfig,
+    name: str,
+    technique_factory: Callable,
+    per_thread_batches: Sequence[Sequence[EventBatch]],
+    seed: int = 0,
+) -> RunResult:
+    """Execute one shard's substreams on a fresh per-shard machine.
+
+    The single execution path both the sequential reference and the
+    process-parallel driver call — which is what makes "concurrent ==
+    sequential" a structural property rather than a coincidence.
+    """
+    workload = PrebuiltBatchWorkload(name, per_thread_batches)
+    machine = Machine(shard_config)
+    return machine.run(
+        workload,
+        technique_factory,
+        num_threads=len(per_thread_batches),
+        seed=seed,
+        use_batches=True,
+    )
+
+
+@dataclass
+class ShardedRun:
+    """Everything one sharded execution produced."""
+
+    merged: RunResult           # the drain-barrier merge of all shards
+    shards: List[RunResult]     # per-shard results, in shard order
+    split_stats: Dict[str, int]  # event-conservation / exactness stats
+    num_shards: int
+
+
+def run_sharded(
+    config: MachineConfig,
+    workload: Workload,
+    technique_factory: Callable,
+    *,
+    num_threads: int = 1,
+    seed: int = 0,
+    num_shards: int = 2,
+    barrier_every: int = DEFAULT_BARRIER_EVERY,
+) -> ShardedRun:
+    """The sequential sharded reference: shards run in-process, in order.
+
+    ``technique_factory`` is the per-thread factory ``Machine.run``
+    takes; it is invoked once per (shard, thread), so factories must be
+    reusable (every ``repro.cache.policies.make_factory`` product is).
+    """
+    per_shard, stats = split_workload(
+        workload, num_threads, seed, num_shards, barrier_every
+    )
+    shard_config = shard_machine_config(config, num_shards)
+    name = getattr(workload, "name", "sharded")
+    shards = [
+        run_one_shard(shard_config, name, technique_factory, per_shard[s], seed)
+        for s in range(num_shards)
+    ]
+    return ShardedRun(
+        merged=merge_shard_results(shards),
+        shards=shards,
+        split_stats=stats,
+        num_shards=num_shards,
+    )

@@ -46,9 +46,12 @@ experiments side and imports us).
 from __future__ import annotations
 
 import json
+import queue
 import re
-from collections import deque
+import threading
+from collections import Counter, deque
 from dataclasses import dataclass
+from operator import itemgetter
 from typing import Callable, Deque, Dict, IO, Iterable, List, Optional, Tuple
 
 from repro.common.errors import ConfigurationError
@@ -63,7 +66,7 @@ from repro.obs.analyze import (
 from repro.obs.trace import (
     TRACE_SCHEMA_VERSION,
     TraceEvent,
-    encode_event_line,
+    encode_event_chunk,
     encode_meta_line,
 )
 
@@ -74,6 +77,14 @@ DEFAULT_WINDOW_CYCLES = 100_000
 
 #: Default bounded-ring capacity of :class:`StreamingRecorder`.
 DEFAULT_RING_CAPACITY = 4096
+
+#: Default bound of the spill writer's handoff queue, in pending chunks.
+#: A full queue blocks the recording thread (backpressure) rather than
+#: dropping events — the spill guarantee is completeness, not liveness.
+DEFAULT_SPILL_QUEUE_CHUNKS = 8
+
+#: Sentinel telling the spill writer thread to exit.
+_SPILL_STOP = object()
 
 
 # ---------------------------------------------------------------------------
@@ -96,6 +107,17 @@ class StreamingRecorder:
       order — so the finished file is byte-identical to what a
       ``TraceRecorder.write_jsonl`` of the same run would have written.
 
+    With ``spill_thread=True`` (the default) the spill runs on a
+    dedicated writer thread: window closings hand the pending buffer to
+    a bounded queue and return immediately, and encoding + file I/O
+    happen off the simulation thread.  A full queue *blocks* the
+    recording thread until the writer catches up — backpressure, never
+    drops — so completeness is unconditional.  ``flush()`` still means
+    "the file now holds every event recorded so far" (it drains the
+    queue before returning), a writer error re-raises at the next
+    ``flush()``/``close()``, and the single-consumer FIFO preserves
+    recording order, so the byte-identity guarantee is untouched.
+
     Subscribers receive every event as it is recorded: either a callable
     ``fn(kind, thread_id, time, a, b, c)`` or an object with a matching
     ``record`` method (a :class:`StreamingProfile`, or even another
@@ -109,7 +131,6 @@ class StreamingRecorder:
         "window_cycles",
         "ring",
         "total",
-        "dropped",
         "_counts",
         "_pending",
         "_fh",
@@ -120,6 +141,9 @@ class StreamingRecorder:
         "_subs",
         "_tick_subs",
         "closed",
+        "_spill_queue",
+        "_spill_thread",
+        "_spill_error",
     )
 
     enabled = True
@@ -132,6 +156,8 @@ class StreamingRecorder:
         window_cycles: int = DEFAULT_WINDOW_CYCLES,
         ring_capacity: int = DEFAULT_RING_CAPACITY,
         subscribers: Iterable[object] = (),
+        spill_thread: bool = True,
+        spill_queue_chunks: int = DEFAULT_SPILL_QUEUE_CHUNKS,
     ) -> None:
         if window_cycles < 1:
             raise ConfigurationError(f"window_cycles must be >= 1, got {window_cycles}")
@@ -141,9 +167,10 @@ class StreamingRecorder:
             raise ConfigurationError("pass either path or fileobj, not both")
         self.schema = TRACE_SCHEMA_VERSION
         self.window_cycles = window_cycles
-        self.ring: Deque[TraceEvent] = deque(maxlen=ring_capacity)
+        self.ring: Deque[Tuple[str, int, int, int, int, int]] = deque(
+            maxlen=ring_capacity
+        )
         self.total = 0
-        self.dropped = 0
         self._counts: Dict[str, int] = {}
         self._pending: List[Tuple[str, int, int, int, int, int]] = []
         self._owns_fh = path is not None
@@ -154,8 +181,25 @@ class StreamingRecorder:
         self._subs: List[Callable[[str, int, int, int, int, int], None]] = []
         self._tick_subs: List[object] = []
         self.closed = False
+        self._spill_queue: Optional[queue.Queue] = None
+        self._spill_thread: Optional[threading.Thread] = None
+        self._spill_error: Optional[BaseException] = None
         if self._fh is not None:
+            if spill_queue_chunks < 1:
+                raise ConfigurationError(
+                    f"spill_queue_chunks must be >= 1, got {spill_queue_chunks}"
+                )
+            # Header before the writer starts: from here on the writer
+            # thread is the file's only writer.
             self._fh.write(encode_meta_line() + "\n")
+            if spill_thread:
+                self._spill_queue = queue.Queue(maxsize=spill_queue_chunks)
+                self._spill_thread = threading.Thread(
+                    target=self._spill_writer,
+                    name="streaming-spill",
+                    daemon=True,
+                )
+                self._spill_thread.start()
         for sub in subscribers:
             self.subscribe(sub)
 
@@ -173,17 +217,25 @@ class StreamingRecorder:
     def record(
         self, kind: str, thread_id: int, time: int, a: int = 0, b: int = 0, c: int = 0
     ) -> None:
-        """Append one event: ring + counts + spill buffer + fan-out."""
+        """Append one event: ring + counts + spill buffer + fan-out.
+
+        The ring stores the plain tuple (shared with the spill buffer —
+        one allocation per event); ``tail()`` decodes to
+        :class:`TraceEvent` lazily, ``dropped`` derives from ``total``
+        and the ring occupancy, and with a spill file the per-kind
+        counts fold in bulk when a chunk is consumed (``counts()``
+        merges the not-yet-spilled tail).
+        """
         self.total += 1
-        ring = self.ring
-        if len(ring) == ring.maxlen:
-            self.dropped += 1
-        ring.append(TraceEvent(kind, thread_id, time, a, b, c))
-        self._counts[kind] = self._counts.get(kind, 0) + 1
+        event = (kind, thread_id, time, a, b, c)
+        self.ring.append(event)
         if self._fh is not None:
-            self._pending.append((kind, thread_id, time, a, b, c))
-        for sub in self._subs:
-            sub(kind, thread_id, time, a, b, c)
+            self._pending.append(event)
+        else:
+            self._counts[kind] = self._counts.get(kind, 0) + 1
+        if self._subs:
+            for sub in self._subs:
+                sub(kind, thread_id, time, a, b, c)
         if time > self._watermark:
             self._watermark = time
             if time >= self._boundary:
@@ -203,17 +255,81 @@ class StreamingRecorder:
         while self._watermark >= self._boundary:
             self._boundary += w
             self.windows_flushed += 1
-        self.flush()
+        if self._spill_queue is not None:
+            # Hand the pending chunk to the writer and keep simulating;
+            # a full queue blocks here (backpressure, never drops).
+            self._handoff()
+            self._check_spill_error()
+        else:
+            self.flush()
 
     # -- spill -----------------------------------------------------------
 
+    def _fold_counts(self, chunk: List[Tuple[str, int, int, int, int, int]]) -> None:
+        """Fold a consumed chunk's kinds into the running counts (one
+        C-level Counter pass per chunk, nothing per event)."""
+        counts = self._counts
+        for kind, n in Counter(map(itemgetter(0), chunk)).items():
+            counts[kind] = counts.get(kind, 0) + n
+
+    def _handoff(self) -> None:
+        if self._pending:
+            self._fold_counts(self._pending)
+            self._spill_queue.put(self._pending)
+            self._pending = []
+
+    def _check_spill_error(self) -> None:
+        if self._spill_error is not None:
+            raise RuntimeError(
+                "streaming spill writer failed"
+            ) from self._spill_error
+
+    def _spill_writer(self) -> None:
+        """Writer-thread loop: encode and write chunks, FIFO, one at a
+        time.  After an error, chunks are drained and discarded (with
+        ``task_done``) so the recording thread can never deadlock on a
+        full queue; the error re-raises at the next flush/close."""
+        spill_queue = self._spill_queue
+        fh = self._fh
+        while True:
+            chunk = spill_queue.get()
+            try:
+                if chunk is _SPILL_STOP:
+                    return
+                if self._spill_error is None:
+                    try:
+                        fh.write(encode_event_chunk(chunk))
+                        # Flush only at idle: the recording thread is the
+                        # sole producer, so when it blocks in flush()'s
+                        # Queue.join the final chunk sees an empty queue
+                        # and lands a flush before task_done — the drain
+                        # guarantee holds without a syscall per chunk.
+                        if spill_queue.empty():
+                            fh.flush()
+                    except BaseException as exc:
+                        self._spill_error = exc
+            finally:
+                spill_queue.task_done()
+
     def flush(self) -> None:
-        """Write buffered event lines to the spill file, in order."""
-        if self._fh is None or not self._pending:
+        """Write buffered event lines to the spill file, in order.
+
+        On return the file holds every event recorded so far — with a
+        writer thread this drains the handoff queue (``Queue.join``)
+        before returning, so the synchronous meaning is preserved.
+        """
+        if self._fh is None:
+            return
+        if self._spill_queue is not None:
+            self._handoff()
+            self._spill_queue.join()
+            self._check_spill_error()
+            return
+        if not self._pending:
             return
         fh = self._fh
-        for kind, tid, ts, a, b, c in self._pending:
-            fh.write(encode_event_line(kind, tid, ts, a, b, c) + "\n")
+        self._fold_counts(self._pending)
+        fh.write(encode_event_chunk(self._pending))
         self._pending.clear()
         fh.flush()
 
@@ -221,10 +337,20 @@ class StreamingRecorder:
         """Flush the remaining buffer and close an owned spill file."""
         if self.closed:
             return
-        self.flush()
+        error: Optional[BaseException] = None
+        try:
+            self.flush()
+        except BaseException as exc:
+            error = exc
+        if self._spill_thread is not None:
+            self._spill_queue.put(_SPILL_STOP)
+            self._spill_thread.join()
+            self._spill_thread = None
         if self._fh is not None and self._owns_fh:
             self._fh.close()
         self.closed = True
+        if error is not None:
+            raise error
 
     def __enter__(self) -> "StreamingRecorder":
         return self
@@ -238,14 +364,29 @@ class StreamingRecorder:
         """Total events observed (not the ring occupancy)."""
         return self.total
 
+    @property
+    def dropped(self) -> int:
+        """Events no longer in the ring (derived, not tracked per event)."""
+        return max(0, self.total - (self.ring.maxlen or 0))
+
     def tail(self, n: Optional[int] = None) -> List[TraceEvent]:
         """The most recent events still in the ring (oldest first)."""
-        events = list(self.ring)
+        events = [TraceEvent(*event) for event in self.ring]
         return events if n is None else events[-n:]
 
     def counts(self) -> Dict[str, int]:
-        """Event count per kind over the whole stream (sorted by kind)."""
-        return dict(sorted(self._counts.items()))
+        """Event count per kind over the whole stream (sorted by kind).
+
+        With a spill file, events buffered since the last chunk handoff
+        are merged in on the fly (they fold into ``_counts`` when their
+        chunk is consumed).
+        """
+        if not self._pending:
+            return dict(sorted(self._counts.items()))
+        merged = dict(self._counts)
+        for kind, n in Counter(map(itemgetter(0), self._pending)).items():
+            merged[kind] = merged.get(kind, 0) + n
+        return dict(sorted(merged.items()))
 
     def __repr__(self) -> str:
         return (

@@ -87,8 +87,11 @@ def test_ring_is_bounded_and_counts_are_not():
 
 
 def test_flush_happens_on_window_boundary_not_only_on_close():
+    # spill_thread=False: the synchronous path makes the spill instant
+    # observable (the async writer hands off at the same boundary but
+    # lands the bytes a moment later).
     buf = io.StringIO()
-    rec = StreamingRecorder(fileobj=buf, window_cycles=100)
+    rec = StreamingRecorder(fileobj=buf, window_cycles=100, spill_thread=False)
     rec.record(EV_EVICT_FLUSH, 0, 10, 1, 1, 0)
     assert buf.getvalue().count("\n") == 1  # header only: window still open
     rec.record(EV_STALL, 0, 150, 5, 0)      # watermark crosses cycle 100
@@ -99,12 +102,85 @@ def test_flush_happens_on_window_boundary_not_only_on_close():
 
 def test_quantum_tick_flushes_event_free_window():
     buf = io.StringIO()
-    rec = StreamingRecorder(fileobj=buf, window_cycles=100)
+    rec = StreamingRecorder(fileobj=buf, window_cycles=100, spill_thread=False)
     rec.record(EV_EVICT_FLUSH, 0, 10, 1, 1, 0)
     rec.on_quantum(0, 250)
     assert rec.windows_flushed == 2          # cycles 100 and 200 both passed
     assert buf.getvalue().count("\n") == 2
     rec.close()
+
+
+def test_async_spill_is_byte_identical_under_backpressure():
+    """With a one-chunk queue every boundary handoff blocks until the
+    writer drains — the backpressure path — and the file must still come
+    out byte-identical to the offline export."""
+    buf = io.StringIO()
+    mirror = TraceRecorder()
+    rec = StreamingRecorder(
+        fileobj=buf,
+        window_cycles=2_000,
+        subscribers=(mirror,),
+        spill_queue_chunks=1,
+    )
+    config = HarnessConfig(scale=0.02, seed=7).machine_config()
+    Machine(config, recorder=rec).run(
+        get_workload("queue", scale=0.02),
+        make_factory("SC"),
+        num_threads=2,
+        seed=7,
+    )
+    rec.close()
+    assert rec.windows_flushed > 1
+    assert buf.getvalue() == mirror.to_jsonl()
+
+
+def test_flush_lands_all_events_mid_run():
+    """flush() keeps its synchronous meaning with the writer thread: on
+    return the file holds every event recorded so far, even mid-window."""
+    buf = io.StringIO()
+    rec = StreamingRecorder(fileobj=buf, window_cycles=1_000_000)
+    for i in range(5):
+        rec.record(EV_EVICT_FLUSH, 0, 10 + i, i, 1, 0)
+    rec.flush()
+    assert buf.getvalue().count("\n") == 6   # header + all five events
+    rec.close()
+
+
+class _FailingFile(io.StringIO):
+    """Accepts the schema header, then fails every write."""
+
+    def __init__(self):
+        super().__init__()
+        self._writes = 0
+
+    def write(self, s):
+        self._writes += 1
+        if self._writes > 1:
+            raise OSError("disk full")
+        return super().write(s)
+
+
+def test_spill_writer_error_surfaces_at_flush_then_close():
+    rec = StreamingRecorder(fileobj=_FailingFile(), window_cycles=100)
+    rec.record(EV_EVICT_FLUSH, 0, 10, 1, 1, 0)
+    with pytest.raises(RuntimeError, match="spill writer failed"):
+        rec.flush()
+    # close() re-raises but still tears down: thread joined, recorder
+    # closed, and a second close is a no-op.
+    with pytest.raises(RuntimeError, match="spill writer failed"):
+        rec.close()
+    assert rec.closed
+    rec.close()
+
+
+def test_spill_writer_error_surfaces_at_close_without_flush():
+    rec = StreamingRecorder(fileobj=_FailingFile(), window_cycles=100)
+    rec.record(EV_EVICT_FLUSH, 0, 10, 1, 1, 0)
+    # No boundary crossed: the failing write only happens during the
+    # close-time flush, so close() is where the error must surface.
+    with pytest.raises(RuntimeError, match="spill writer failed"):
+        rec.close()
+    assert rec.closed
 
 
 def test_subscriber_fanout_and_tick_forwarding():

@@ -89,6 +89,28 @@ def test_jsonl_round_trips_every_kind():
     assert list(back.events()) == expected
 
 
+def test_fast_encoder_matches_json_reference_for_every_kind():
+    """The template-based ``encode_event_line`` must emit exactly what
+    the json.dumps reference emits — for every known kind, including
+    negative and huge int64 arguments — and fall back to the reference
+    for unknown kinds."""
+    from repro.obs.trace import encode_event_line, encode_event_line_json
+
+    arg_sets = [
+        (0, 0, 0, 0, 0),
+        (3, 123_456, 7, -1, 42),
+        (255, 2 ** 62, -(2 ** 62), 2 ** 63 - 1, -(2 ** 63)),
+    ]
+    for kind in EVENT_KINDS:
+        for tid, ts, a, b, c in arg_sets:
+            assert encode_event_line(kind, tid, ts, a, b, c) == (
+                encode_event_line_json(kind, tid, ts, a, b, c)
+            ), kind
+    assert encode_event_line("no-such-kind", 1, 2, 3, 4, 5) == (
+        encode_event_line_json("no-such-kind", 1, 2, 3, 4, 5)
+    )
+
+
 def test_parse_jsonl_reads_schema1_with_defaults():
     # A PR-2 document: no trace_meta header, no resize_evict/fase_id.
     text = (

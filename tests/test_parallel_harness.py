@@ -39,6 +39,36 @@ def test_parallel_grid_equals_sequential():
     assert _dicts(parallel) == _dicts(sequential)
 
 
+def test_full_artifact_grid_parallel_equals_sequential():
+    """Every cell of every artifact — all workloads, techniques and
+    thread counts — survives the worker/transport round trip bit for
+    bit.  Small scale keeps this affordable (~220 cells)."""
+    tiny = HarnessConfig(scale=0.005, seed=7)
+    cells = grid_for(Harness(tiny), "all")
+    sequential = Harness(tiny).run_grid(cells, jobs=1)
+    parallel = Harness(tiny).run_grid(cells, jobs=4)
+    assert _dicts(parallel) == _dicts(sequential)
+
+
+def test_parallel_grid_adopts_profiles_from_workers():
+    """Profile runs done inside workers for SC summaries ride home over
+    shared memory, so figure2/figure7-style trace analysis needs no new
+    simulation in the parent."""
+    harness = Harness(CONFIG)
+    cells = [("water-spatial", "SC", 1), ("water-spatial", "SC-offline", 1)]
+    run_grid_parallel(harness, cells, jobs=2)
+    adopted = harness._profiles.get(("water-spatial", 1))
+    assert adopted is not None
+    assert adopted.traces is not None and len(adopted.traces) == 1
+    # profile() is now a pure cache hit (identical object, no rerun).
+    assert harness.profile("water-spatial") is adopted
+    # The adopted traces are usable: identical to a freshly profiled run.
+    fresh = Harness(CONFIG).profile("water-spatial")
+    assert [t.lines.tolist() for t in adopted.traces] == [
+        t.lines.tolist() for t in fresh.traces
+    ]
+
+
 def test_parallel_results_land_in_harness_cache():
     harness = Harness(CONFIG)
     run_grid_parallel(harness, CELLS, jobs=2)
@@ -111,6 +141,50 @@ def test_disk_cache_key_covers_the_whole_config(tmp_path):
     assert ResultCache.key(
         CONFIG, "profile_summary", name="barnes", technique="SC", threads=1
     ) != base
+
+
+def _hammer_cache(cache_dir, key, payload, rounds):
+    cache = ResultCache(cache_dir)
+    for _ in range(rounds):
+        cache.put(key, payload)
+
+
+def test_concurrent_writers_never_tear_an_entry(tmp_path):
+    """Two processes hammering the same key must leave the entry valid
+    at every instant: the temp-file + rename protocol means a reader can
+    only ever observe one writer's complete payload."""
+    import multiprocessing as mp
+
+    cache_dir = str(tmp_path)
+    key = "f" * 64
+    path = os.path.join(cache_dir, f"{key}.json")
+    payloads = [{"writer": w, "blob": "x" * 4096} for w in (0, 1)]
+    ctx = mp.get_context()
+    writers = [
+        ctx.Process(target=_hammer_cache, args=(cache_dir, key, p, 200))
+        for p in payloads
+    ]
+    for w in writers:
+        w.start()
+    observed = set()
+    try:
+        while any(w.is_alive() for w in writers):
+            try:
+                with open(path, "r", encoding="utf-8") as fh:
+                    raw = fh.read()
+            except FileNotFoundError:
+                continue
+            if raw:
+                data = json.loads(raw)     # raises if torn
+                assert data in payloads
+                observed.add(data["writer"])
+    finally:
+        for w in writers:
+            w.join()
+    assert all(w.exitcode == 0 for w in writers)
+    assert observed  # the reader actually raced the writers
+    # No temp droppings left behind.
+    assert [f for f in os.listdir(cache_dir) if f.startswith(".tmp-")] == []
 
 
 def test_corrupt_cache_entry_is_a_miss(tmp_path):

@@ -1,0 +1,221 @@
+"""Sharded execution: split invariants, merge rule, exactness contract.
+
+Two levels of guarantee (see ``repro/nvram/sharded.py``):
+
+1. For every technique, concurrent sharded execution is bit-identical
+   to the sequential shard-by-shard reference (same split, same per-
+   shard machines, merge in shard order).
+2. For techniques whose flush decisions are per-store or per-(FASE,
+   line) properties — ER, LA, BEST — the *merged* counters equal the
+   truly-unsharded machine's bit for bit whenever no store spans a
+   shard boundary.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cache.policies import make_factory
+from repro.common.errors import ConfigurationError
+from repro.common.events import EventBatch, EventKind
+from repro.experiments.harness import HarnessConfig, make_workload
+from repro.experiments.parallel import run_sharded_parallel
+from repro.locality.shards import shard_of_lines
+from repro.nvram.machine import Machine, MachineConfig
+from repro.nvram.sharded import (
+    merge_shard_results,
+    run_sharded,
+    shard_machine_config,
+    split_batches,
+    split_workload,
+)
+
+CONFIG = HarnessConfig(scale=0.02, seed=7)
+MC = CONFIG.machine_config()
+
+#: Counters that must decompose exactly across shards for ER/LA/BEST.
+EXACT_FIELDS = (
+    "instructions",
+    "persistent_stores",
+    "persistent_loads",
+    "flushes",
+    "eviction_flushes",
+    "fase_end_flushes",
+    "eager_flushes",
+    "log_flushes",
+    "final_flushes",
+    "fase_count",
+)
+
+
+# ---------------------------------------------------------------------------
+# splitting
+# ---------------------------------------------------------------------------
+
+
+def _demo_batch():
+    batch = EventBatch()
+    batch.append_fase_begin()
+    for line in range(40):
+        batch.append_store(0x10000 + line * 64, 8)
+        batch.append_load(0x10000 + line * 64, 8)
+    batch.append_work(1000)
+    batch.append_fase_end()
+    return batch
+
+
+def test_split_conserves_events_and_replicates_fases():
+    per_shard, stats = split_batches([_demo_batch()], 3)
+    assert stats["stores"] == 40 and stats["loads"] == 40
+    assert stats["fases"] == 1
+    assert stats["cross_shard_spans"] == 0
+    kinds = [
+        [k for b in shard for k in b.kinds.tolist()] for shard in per_shard
+    ]
+    # Stores and loads partition exactly...
+    assert sum(k.count(EventKind.STORE) for k in kinds) == 40
+    assert sum(k.count(EventKind.LOAD) for k in kinds) == 40
+    # ...FASE markers replicate to every shard...
+    for k in kinds:
+        assert k.count(EventKind.FASE_BEGIN) == 1
+        assert k.count(EventKind.FASE_END) == 1
+    # ...and WORK splits into parts summing to the original amount.
+    work_total = sum(
+        a
+        for shard in per_shard
+        for b in shard
+        for k, a in zip(b.kinds.tolist(), b.args.tolist())
+        if k == EventKind.WORK
+    )
+    assert work_total == 1000
+
+
+def test_split_routes_by_spatial_hash():
+    per_shard, _ = split_batches([_demo_batch()], 3)
+    for shard_id, shard in enumerate(per_shard):
+        for batch in shard:
+            for kind, arg in zip(batch.kinds.tolist(), batch.args.tolist()):
+                if kind in (EventKind.STORE, EventKind.LOAD):
+                    line = np.array([arg >> 6], dtype=np.int64)
+                    assert int(shard_of_lines(line, 3)[0]) == shard_id
+
+
+def test_split_counts_cross_shard_spans():
+    batch = EventBatch()
+    # A store spanning 64 lines must cross some 8-way shard boundary.
+    batch.append_store(0x10000, 64 * 64)
+    _, stats = split_batches([batch], 8)
+    assert stats["cross_shard_spans"] == 1
+
+
+def test_split_validates_arguments():
+    with pytest.raises(ConfigurationError):
+        split_batches([], 0)
+    with pytest.raises(ConfigurationError):
+        split_batches([], 2, barrier_every=0)
+
+
+def test_shard_machine_config_partitions_capacity():
+    config = MachineConfig(l1_capacity_lines=512, l1_ways=8)
+    assert shard_machine_config(config, 1).l1_capacity_lines == 512
+    assert shard_machine_config(config, 4).l1_capacity_lines == 128
+    # Rounded down to whole sets, floor one set.
+    assert shard_machine_config(config, 3).l1_capacity_lines == 168
+    assert shard_machine_config(config, 512).l1_capacity_lines == 8
+    with pytest.raises(ConfigurationError):
+        shard_machine_config(config, 0)
+
+
+# ---------------------------------------------------------------------------
+# merging
+# ---------------------------------------------------------------------------
+
+
+def test_merge_rejects_mismatched_shards():
+    wl = make_workload(CONFIG, "water-spatial")
+    sharded = run_sharded(
+        MC, wl, make_factory("ER"), num_threads=2, seed=7, num_shards=2
+    )
+    with pytest.raises(ConfigurationError):
+        merge_shard_results([])
+    lopsided = [sharded.shards[0]]
+    lopsided.append(
+        Machine(MC).run(wl, make_factory("ER"), num_threads=1, seed=7)
+    )
+    with pytest.raises(ConfigurationError, match="thread count"):
+        merge_shard_results(lopsided)
+
+
+# ---------------------------------------------------------------------------
+# equivalence
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", ["water-spatial", "barnes"])
+@pytest.mark.parametrize("technique", ["ER", "LA", "BEST"])
+def test_merged_counters_equal_unsharded_for_decomposable_techniques(
+    name, technique
+):
+    wl = make_workload(CONFIG, name)
+    unsharded = Machine(MC).run(
+        wl, make_factory(technique), num_threads=2, seed=7
+    )
+    sharded = run_sharded(
+        MC, wl, make_factory(technique), num_threads=2, seed=7, num_shards=3
+    )
+    assert sharded.split_stats["cross_shard_spans"] == 0
+    merged = sharded.merged
+    for mt, ut in zip(merged.threads, unsharded.threads):
+        for field in EXACT_FIELDS:
+            assert getattr(mt, field) == getattr(ut, field), (
+                f"{name}/{technique}: thread {ut.thread_id} "
+                f"{field} diverged"
+            )
+
+
+@pytest.mark.parametrize("technique", ["SC-offline", "AT"])
+def test_parallel_sharded_run_is_bit_identical_to_sequential(technique):
+    """Level-1 guarantee: concurrency never changes a sharded result,
+    even for capacity-driven techniques whose sharded run is a model
+    variant rather than an unsharded equivalent."""
+    wl = make_workload(CONFIG, "water-spatial")
+    kwargs = {"sc_fixed_size": 16} if technique == "SC-offline" else {}
+    sequential = run_sharded(
+        MC,
+        wl,
+        make_factory(technique, **kwargs),
+        num_threads=2,
+        seed=7,
+        num_shards=3,
+    )
+    parallel = run_sharded_parallel(
+        MC,
+        wl,
+        technique,
+        jobs=2,
+        num_threads=2,
+        seed=7,
+        num_shards=3,
+        factory_kwargs=kwargs,
+    )
+    assert parallel.num_shards == sequential.num_shards == 3
+    assert parallel.split_stats == sequential.split_stats
+    for ps, ss in zip(parallel.shards, sequential.shards):
+        assert ps.to_dict() == ss.to_dict()
+    assert parallel.merged.to_dict() == sequential.merged.to_dict()
+
+
+def test_sharded_run_reports_shard_structure():
+    wl = make_workload(CONFIG, "water-spatial")
+    sharded = run_sharded(
+        MC, wl, make_factory("ER"), num_threads=2, seed=7, num_shards=4
+    )
+    assert len(sharded.shards) == 4
+    assert sharded.merged.num_threads == 2
+    # Work happened in more than one shard (the hash spreads the lines).
+    active = [s for s in sharded.shards if s.persistent_stores > 0]
+    assert len(active) > 1
+    # Merged wall-clock is the slowest shard's clock, per thread.
+    for t in range(2):
+        assert sharded.merged.threads[t].cycles == max(
+            s.threads[t].cycles for s in sharded.shards
+        )
