@@ -8,7 +8,7 @@ right one on this substrate.
 import pytest
 
 from repro.cache.adaptive import AdaptiveConfig
-from repro.cache.policies import make_factory
+from repro.cache.spec import technique_factory
 from repro.locality.knee import SelectionPolicy, find_knees, select_cache_size
 from repro.locality.mrc import mrc_from_trace
 from repro.locality.sampling import sampled_mrc
@@ -20,7 +20,7 @@ BUDGET = 60_000
 
 def run(workload, technique, **kw):
     machine = Machine(MachineConfig())
-    return machine.run(workload, make_factory(technique, **kw), 1, seed=1)
+    return machine.run(workload, technique_factory(technique, **kw), 1, seed=1)
 
 
 @pytest.fixture(scope="module")
@@ -186,7 +186,7 @@ def test_ablation_shared_group_adaptation(harness, once):
 
 def run_threads(workload, technique, threads, **kw):
     machine = Machine(MachineConfig())
-    return machine.run(workload, make_factory(technique, **kw), threads, seed=1)
+    return machine.run(workload, technique_factory(technique, **kw), threads, seed=1)
 
 
 def test_ablation_mrc_method_spectrum(harness, once):

@@ -14,7 +14,7 @@ Two assertions keep ``repro.obs`` honest:
 
 import time
 
-from repro.cache.policies import make_factory
+from repro.cache.spec import technique_factory
 from repro.nvram.machine import Machine, MachineConfig
 from repro.obs.trace import NULL_RECORDER, TraceRecorder
 from repro.workloads.registry import get_workload
@@ -31,7 +31,7 @@ def _timed_run(workload, technique, recorder=None):
         machine = Machine(MachineConfig(), recorder=recorder)
         start = time.perf_counter()
         result = machine.run(
-            workload, make_factory(technique), num_threads=2, seed=7
+            workload, technique_factory(technique), num_threads=2, seed=7
         )
         best = min(best, time.perf_counter() - start)
     return best, result
@@ -93,7 +93,7 @@ def test_streaming_recorder_overhead_is_bounded(tmp_path):
         machine = Machine(MachineConfig(), recorder=recorder)
         start = time.perf_counter()
         result = machine.run(
-            workload, make_factory("SC"), num_threads=2, seed=7
+            workload, technique_factory("SC"), num_threads=2, seed=7
         )
         recorder.close()                             # spill priced in
         best = min(best, time.perf_counter() - start)

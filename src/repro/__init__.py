@@ -34,6 +34,7 @@ __version__ = "1.1.0"
 __all__ = [
     "FaultSpec",
     "RunSpec",
+    "TechniqueSpec",
     "api",
     "atlas",
     "cache",
@@ -45,13 +46,22 @@ __all__ = [
     "mdb",
     "nvram",
     "pstructs",
+    "list_techniques",
     "run",
     "traced_run",
     "workloads",
 ]
 
 #: Facade names resolved lazily from :mod:`repro.api` (PEP 562).
-_API_NAMES = ("FaultSpec", "RunSpec", "campaign", "run", "traced_run")
+_API_NAMES = (
+    "FaultSpec",
+    "RunSpec",
+    "TechniqueSpec",
+    "campaign",
+    "list_techniques",
+    "run",
+    "traced_run",
+)
 
 
 def __getattr__(name):

@@ -3,7 +3,7 @@
 Everything the repo can do to one ``(workload, technique, threads)``
 configuration — plain runs, traced runs, fault-injection campaigns — is
 reachable from a single :class:`RunSpec`, so downstream code stops
-hand-wiring ``Machine`` + ``make_factory`` + ``AdaptiveController``::
+hand-wiring ``Machine`` + ``technique_factory`` + ``AdaptiveController``::
 
     from repro import api
 
@@ -26,8 +26,9 @@ stack at ``import repro`` time.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Optional, Tuple, Union
 
+from repro.cache.spec import TechniqueSpec, list_techniques
 from repro.common.errors import ConfigurationError
 from repro.experiments.harness import Harness, HarnessConfig
 from repro.faults.campaign import CrashMatrix, FaultCampaignSpec, run_campaign
@@ -43,8 +44,10 @@ FaultSpec = FaultCampaignSpec
 __all__ = [
     "FaultSpec",
     "RunSpec",
+    "TechniqueSpec",
     "campaign",
     "harness_for",
+    "list_techniques",
     "run",
     "traced_run",
 ]
@@ -57,10 +60,18 @@ class RunSpec:
     Frozen and hashable, so specs work as cache keys and ship cleanly to
     worker processes.  Every field has the repo-wide default; a bare
     ``RunSpec(workload="mdb")`` reproduces what the CLI would run.
+
+    ``technique`` accepts a base name (``"SC"``), a composed spec string
+    (``"SC+nhit:2+clean+victim:16"``) or a
+    :class:`~repro.cache.spec.TechniqueSpec`; it is normalized to the
+    canonical spec string through the one parser
+    (:meth:`TechniqueSpec.parse`), which is also where a bad spec fails,
+    naming the offending stage or parameter.  ``list_techniques()``
+    enumerates the grammar.
     """
 
     workload: str
-    technique: str = "SC"
+    technique: Union[str, TechniqueSpec] = "SC"
     threads: int = 1
     scale: float = 1.0
     seed: int = 0
@@ -70,6 +81,12 @@ class RunSpec:
     selection: SelectionPolicy = SelectionPolicy()
 
     def __post_init__(self) -> None:
+        # One parser for every entry point: accept a spec string or a
+        # TechniqueSpec and store the canonical spec string, so equal
+        # configurations hash equal ("SC+clean" == "SC+clean:4").
+        object.__setattr__(
+            self, "technique", str(TechniqueSpec.parse(self.technique))
+        )
         if self.threads < 1:
             raise ConfigurationError("threads must be >= 1")
         if self.scale <= 0:

@@ -32,7 +32,7 @@ from typing import Iterator, Optional
 from repro.atlas.fase import FaseLock, FaseManager
 from repro.atlas.log import UndoLog
 from repro.atlas.region import DEFAULT_REGION_SIZE, PersistentRegion, RegionManager
-from repro.cache.policies import make_factory
+from repro.cache.spec import technique_factory
 from repro.common.errors import SimulationError
 from repro.nvram.failure import CrashedState
 from repro.nvram.machine import Machine, MachineConfig, MachineSession
@@ -73,7 +73,7 @@ class AtlasRuntime:
             )
         self.machine = machine
         self.regions = regions if regions is not None else RegionManager()
-        factory = make_factory(technique, **technique_options)
+        factory = technique_factory(technique, **technique_options)
         self.technique = factory(thread_id)
         self.session: MachineSession = machine.session(
             self.technique, thread_id, record_trace=record_trace

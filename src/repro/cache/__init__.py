@@ -9,7 +9,11 @@
 - :mod:`repro.cache.adaptive` — the online controller: bursty sampling →
   MRC → knee → resize (§III-C).
 - :mod:`repro.cache.policies` — the six techniques of §IV-A: ER, LA, AT,
-  SC, SC-offline and BEST, plus the factory the harness uses.
+  SC, SC-offline and BEST.
+- :mod:`repro.cache.spec` — the declarative ``BASE+stage:param`` spec
+  grammar and the one technique factory every entry point uses.
+- :mod:`repro.cache.stages` — the composable policy stages (nhit
+  promotion, sequential cutoff, background cleaning, victim cache).
 """
 
 from repro.cache.lru import LruCache
@@ -27,6 +31,13 @@ from repro.cache.policies import (
     TECHNIQUES,
     make_factory,
 )
+from repro.cache.spec import (
+    STAGES,
+    TechniqueSpec,
+    list_techniques,
+    technique_factory,
+)
+from repro.cache.stages import StagedTechnique
 
 __all__ = [
     "LruCache",
@@ -43,4 +54,9 @@ __all__ = [
     "BestTechnique",
     "TECHNIQUES",
     "make_factory",
+    "STAGES",
+    "TechniqueSpec",
+    "StagedTechnique",
+    "list_techniques",
+    "technique_factory",
 ]

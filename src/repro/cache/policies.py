@@ -255,11 +255,12 @@ class BestTechnique(PersistenceTechnique):
     on_store_noop = True
 
 
-#: Names accepted by :func:`make_factory` and the experiment harness.
+#: Base technique names accepted by the spec parser
+#: (:class:`repro.cache.spec.TechniqueSpec`) and the experiment harness.
 TECHNIQUES = ("ER", "LA", "AT", "SC", "SC-offline", "BEST")
 
 
-def make_factory(
+def _base_factory(
     technique: str,
     *,
     table_size: int = ATLAS_TABLE_SIZE,
@@ -269,7 +270,11 @@ def make_factory(
     use_clwb: bool = False,
     shared_adaptation: bool = False,
 ) -> Callable[[int], PersistenceTechnique]:
-    """Build a per-thread technique factory for the machine.
+    """Build a per-thread factory for one *base* technique.
+
+    Internal: callers go through
+    :func:`repro.cache.spec.technique_factory`, which parses a spec,
+    builds the base here and wraps it in the composed policy stages.
 
     Parameters
     ----------
@@ -321,3 +326,28 @@ def make_factory(
     raise ConfigurationError(
         f"unknown technique {technique!r}; expected one of {TECHNIQUES}"
     )
+
+
+def make_factory(
+    technique: str,
+    **kwargs,
+) -> Callable[[int], PersistenceTechnique]:
+    """Deprecated: use :func:`repro.cache.spec.technique_factory`.
+
+    Thin shim over the spec path — the string is parsed with
+    :meth:`~repro.cache.spec.TechniqueSpec.parse` (so spec strings like
+    ``"SC+clean"`` work here too) and the kwargs configure the base
+    technique exactly as before.  Results are bit-identical to the old
+    implementation for every seed technique.
+    """
+    import warnings
+
+    warnings.warn(
+        "make_factory is deprecated; use "
+        "repro.cache.spec.technique_factory (or pass a TechniqueSpec)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.cache.spec import technique_factory
+
+    return technique_factory(technique, **kwargs)

@@ -32,6 +32,7 @@ class WriteCombiningCache:
         "resize_evictions",
         "resizes",
         "drains",
+        "cleans",
     )
 
     def __init__(self, capacity: int) -> None:
@@ -45,6 +46,7 @@ class WriteCombiningCache:
         self.resize_evictions = 0
         self.resizes = 0
         self.drains = 0
+        self.cleans = 0
 
     def __len__(self) -> int:
         return len(self._lru)
@@ -102,6 +104,22 @@ class WriteCombiningCache:
         self.drains += 1
         return self._lru.clear()
 
+    def clean_lru(self) -> Optional[int]:
+        """Pop the least-recently-written line for a background clean.
+
+        Background cleaning (the ``clean`` policy stage) retires
+        LRU-tail lines early, during idle write-back bandwidth — the
+        very lines a later capacity eviction or FASE-end drain would
+        have to flush anyway.  Returns ``None`` when the cache is empty.
+        Cleans are counted separately from evictions: they are not
+        forced by a miss, so the eviction/miss accounting identity must
+        not see them.
+        """
+        if not len(self._lru):
+            return None
+        self.cleans += 1
+        return self._lru.evict_lru()
+
     def resize(self, capacity: int) -> List[int]:
         """Change capacity; return lines evicted by a shrink (LRU first)."""
         if capacity < 1:
@@ -146,6 +164,7 @@ class WriteCombiningCache:
             "resize_evictions": self.resize_evictions,
             "resizes": self.resizes,
             "drains": self.drains,
+            "cleans": self.cleans,
         }
         if any(v < 0 for v in snap.values()):
             raise SimulationError(

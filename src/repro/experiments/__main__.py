@@ -65,6 +65,8 @@ import sys
 import time
 from typing import List, Optional
 
+from repro.cache.spec import TechniqueSpec
+from repro.common.errors import ConfigurationError
 from repro.experiments.harness import Harness, HarnessConfig
 from repro.experiments.report import GENERATORS, generate
 
@@ -341,7 +343,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--workload", default="mdb", help="workload name (default mdb)"
     )
     tracing.add_argument(
-        "--technique", default="SC", help="persistence technique (default SC)"
+        "--technique",
+        default="SC",
+        help="technique spec: a base (ER, LA, AT, SC, SC-offline, BEST) "
+        "optionally composed with policy stages, e.g. "
+        "SC+nhit:2+clean:4+victim:16 (default SC)",
     )
     tracing.add_argument(
         "--threads", type=int, default=1, help="simulated threads (default 1)"
@@ -416,7 +422,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--techniques",
         default="SC",
         metavar="A,B",
-        help="comma-separated persistence techniques (default SC)",
+        help="comma-separated technique specs, composed stages allowed, "
+        "e.g. SC,SC+clean:4 (default SC)",
     )
     crash.add_argument(
         "--fault-models",
@@ -503,6 +510,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         "(default: follow until interrupted)",
     )
     args = parser.parse_args(argv)
+
+    # Validate technique specs up front, before any simulation starts,
+    # so a typo in a composed spec fails in milliseconds with the
+    # parser's precise message (naming the bad stage or parameter)
+    # rather than deep inside a worker process.
+    try:
+        TechniqueSpec.parse(args.technique)
+        for entry in args.techniques.split(","):
+            if entry:
+                TechniqueSpec.parse(entry)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
     start = time.time()
     if args.artifact == "monitor":

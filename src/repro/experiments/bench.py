@@ -32,6 +32,13 @@ of committed files is a perf trajectory across PRs.  Three benches:
     to disk — events/second each way, plus the overhead ratios vs the
     null path that the acceptance criteria pin.
 
+``policy_zoo``
+    Simulation cost of composed write-cache policy specs
+    (:mod:`repro.cache.spec`) against bare SC on one pinned run — the
+    per-store price of the ``StagedTechnique`` wrapper (admission
+    filters, victim port, quantum cleaning), best of N repetitions in
+    CPU time, with the per-stage flush counters alongside.
+
 ``harness``
     End-to-end wall clock of a Figure-4 subset grid three ways: a fresh
     sequential sweep, ``run_grid(..., jobs=N)`` on fresh harnesses, and
@@ -66,7 +73,7 @@ from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
-from repro.cache.policies import make_factory
+from repro.cache.spec import technique_factory
 from repro.experiments.harness import Harness, HarnessConfig
 from repro.locality.reuse import reuse_counts
 from repro.nvram.machine import Machine
@@ -106,6 +113,20 @@ STREAM_SCALE = 0.2
 STREAM_WORKLOAD = "queue"
 STREAM_TECHNIQUE = "SC"
 STREAM_THREADS = 2
+
+#: Policy-zoo bench: composed policy stages on one pinned flush-heavy
+#: case.  Prices the StagedTechnique wrapper (filters, victim port,
+#: quantum cleaning) against bare SC on the same run.
+POLICY_ZOO_SCALE = 0.3
+POLICY_ZOO_WORKLOAD = "mdb"
+POLICY_ZOO_BENCH_SPECS = (
+    "SC",
+    "SC+nhit:2",
+    "SC+cutoff:8",
+    "SC+clean:4",
+    "SC+victim:16",
+    "SC+nhit:2+clean:4+victim:16",
+)
 
 #: Harness bench: a Figure-4 subset (single-thread speedups over ER).
 HARNESS_SCALE = 0.5
@@ -155,7 +176,7 @@ def bench_simulator(scale: float, reps: int) -> List[Dict]:
         def run(use_batches: bool) -> None:
             Machine(config).run(
                 workload,
-                make_factory(technique, **kwargs),
+                technique_factory(technique, **kwargs),
                 num_threads=1,
                 seed=BENCH_SEED,
                 use_batches=use_batches,
@@ -280,7 +301,7 @@ def bench_streaming_recorder(scale: float, reps: int) -> Dict:
     def run(recorder) -> None:
         result = Machine(config, recorder=recorder).run(
             workload,
-            make_factory(STREAM_TECHNIQUE),
+            technique_factory(STREAM_TECHNIQUE),
             num_threads=STREAM_THREADS,
             seed=BENCH_SEED,
         )
@@ -312,6 +333,53 @@ def bench_streaming_recorder(scale: float, reps: int) -> Dict:
         "traced_overhead": round(traced_s / null_s, 3),
         "streaming_overhead": round(streaming_s / null_s, 3),
     }
+
+
+def bench_policy_zoo(scale: float, reps: int) -> List[Dict]:
+    """Simulation cost of each composed policy spec vs bare SC.
+
+    Same pinned workload/seed for every row; ``overhead_vs_sc`` is this
+    spec's best CPU time over plain SC's, so the wrapper's per-store
+    price (and any flush-traffic change it induces) is one committed
+    number per stage.  The stage flush counters ride along so a
+    trajectory point also shows *why* a row moved.
+    """
+    workload = BatchCachingWorkload(get_workload(POLICY_ZOO_WORKLOAD, scale=scale))
+    config = HarnessConfig(scale=scale, seed=BENCH_SEED).machine_config()
+    workload.batch_streams(1, BENCH_SEED)
+
+    rows = []
+    sc_s = None
+    for spec in POLICY_ZOO_BENCH_SPECS:
+        seen = {}
+
+        def run() -> None:
+            seen["result"] = Machine(config).run(
+                workload,
+                technique_factory(spec),
+                num_threads=1,
+                seed=BENCH_SEED,
+            )
+
+        best = _best_of(reps, run)
+        if sc_s is None:
+            sc_s = best
+        result = seen["result"]
+        events = result.instructions + result.persistent_stores
+        rows.append(
+            {
+                "spec": spec,
+                "events": events,
+                "best_s": round(best, 4),
+                "eps": round(events / best),
+                "overhead_vs_sc": round(best / sc_s, 3),
+                "flush_ratio": round(result.flush_ratio, 5),
+                "clean_flushes": sum(t.clean_flushes for t in result.threads),
+                "bypass_flushes": sum(t.bypass_flushes for t in result.threads),
+                "victim_flushes": sum(t.victim_flushes for t in result.threads),
+            }
+        )
+    return rows
 
 
 def bench_harness(scale: float, jobs: int) -> Dict:
@@ -403,7 +471,7 @@ def bench_sharded(scale: float, jobs: int) -> Dict:
     start = time.perf_counter()
     unsharded = Machine(config).run(
         workload,
-        make_factory(SHARDED_TECHNIQUE),
+        technique_factory(SHARDED_TECHNIQUE),
         num_threads=SHARDED_THREADS,
         seed=BENCH_SEED,
     )
@@ -460,6 +528,7 @@ def run_suite(
     reuse_intervals = 50_000 if quick else REUSE_INTERVALS
     analyzer_events = 20_000 if quick else ANALYZER_EVENTS
     stream_scale = 0.05 if quick else STREAM_SCALE
+    zoo_scale = 0.05 if quick else POLICY_ZOO_SCALE
     sharded_scale = 0.1 if quick else SHARDED_SCALE
     return {
         "suite_version": SUITE_VERSION,
@@ -481,6 +550,7 @@ def run_suite(
         "reuse_counts": bench_reuse_counts(reuse_n, reuse_intervals, reps),
         "analyzer": bench_analyzer(analyzer_events, reps),
         "streaming_recorder": bench_streaming_recorder(stream_scale, reps),
+        "policy_zoo": bench_policy_zoo(zoo_scale, reps),
         "harness": bench_harness(harness_scale, jobs),
         "sharded": bench_sharded(sharded_scale, jobs),
     }

@@ -18,8 +18,8 @@ Rules:
   analyzer's events/second and the streaming recorder's spill-inclusive
   events/second.  ``per_event_eps`` and the reuse-accumulator
   throughput ride along as informational rows; a baseline written
-  before the analyzer or streaming_recorder bench existed is still
-  comparable (that gate is skipped with a note).
+  before the analyzer, streaming_recorder or policy_zoo bench existed
+  is still comparable (that gate is skipped with a note).
 - Quick-mode documents use smaller pinned scales, so a quick-vs-full
   diff is flagged in the report; the throughput comparison stays
   meaningful (events/second, not wall clock) but CI should pair it with
@@ -168,6 +168,33 @@ def compare(
             f"(older document); streaming throughput not gated"
         )
 
+    policy_zoo_ratio: Optional[float] = None
+    policy_zoo_regress_pct: Optional[float] = None
+    if "policy_zoo" in base and "policy_zoo" in new:
+        zoo_base = {r["spec"]: r for r in base["policy_zoo"]}
+        zoo_new = {r["spec"]: r for r in new["policy_zoo"]}
+        zoo_common = [s for s in zoo_base if s in zoo_new]
+        if zoo_common:
+            policy_zoo_ratio = geometric_mean(
+                zoo_new[s]["eps"] / zoo_base[s]["eps"] for s in zoo_common
+            )
+            policy_zoo_regress_pct = (1.0 - policy_zoo_ratio) * 100.0
+        else:
+            notes.append(
+                "policy_zoo sections share no specs; policy-zoo "
+                "throughput not gated"
+            )
+    else:
+        missing = [
+            label
+            for label, doc in (("base", base), ("new", new))
+            if "policy_zoo" not in doc
+        ]
+        notes.append(
+            f"no policy_zoo bench in {'/'.join(missing)} "
+            f"(older document); policy-zoo throughput not gated"
+        )
+
     # -- absolute gates on the new document -----------------------------
     parallel_speedup: Optional[float] = None
     parallel_gate: Optional[str] = None
@@ -214,6 +241,10 @@ def compare(
         regress_pct <= max_regress
         and (analyzer_regress_pct is None or analyzer_regress_pct <= max_regress)
         and (streaming_regress_pct is None or streaming_regress_pct <= max_regress)
+        and (
+            policy_zoo_regress_pct is None
+            or policy_zoo_regress_pct <= max_regress
+        )
         and parallel_gate != "fail"
         and streaming_gate != "fail"
     )
@@ -227,6 +258,8 @@ def compare(
         "analyzer_regress_pct": analyzer_regress_pct,
         "streaming_ratio": streaming_ratio,
         "streaming_regress_pct": streaming_regress_pct,
+        "policy_zoo_ratio": policy_zoo_ratio,
+        "policy_zoo_regress_pct": policy_zoo_regress_pct,
         "parallel_speedup": parallel_speedup,
         "parallel_gate": parallel_gate,
         "streaming_overhead": streaming_overhead,
@@ -274,6 +307,12 @@ def format_report(verdict: Dict) -> str:
         lines.append(
             f"streaming_recorder {verdict['streaming_ratio']:.3f}x "
             f"(regression {verdict['streaming_regress_pct']:+.1f}%, "
+            f"threshold {verdict['max_regress']:.1f}%)"
+        )
+    if verdict.get("policy_zoo_ratio") is not None:
+        lines.append(
+            f"policy_zoo         {verdict['policy_zoo_ratio']:.3f}x "
+            f"(regression {verdict['policy_zoo_regress_pct']:+.1f}%, "
             f"threshold {verdict['max_regress']:.1f}%)"
         )
     if verdict.get("parallel_speedup") is not None:

@@ -26,7 +26,9 @@ import tempfile
 from typing import Dict, Optional
 
 #: Bump whenever serialized content or key derivation changes shape.
-SCHEMA_VERSION = 1
+#: 2: ThreadStats gained the policy-stage flush counters
+#: (clean/bypass/victim) and technique cells are canonical spec strings.
+SCHEMA_VERSION = 2
 
 
 def _canonical(obj) -> str:

@@ -29,7 +29,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.cache.adaptive import AdaptiveConfig
-from repro.cache.policies import TECHNIQUES, make_factory
+from repro.cache.spec import TechniqueSpec, technique_factory
 from repro.common.errors import ConfigurationError
 from repro.experiments.cache import ResultCache
 from repro.locality.knee import SelectionPolicy, select_cache_size
@@ -101,16 +101,18 @@ def sc_factory_kwargs(
 ) -> Dict[str, object]:
     """Technique-factory keyword arguments for one grid cell.
 
-    ``SC`` and ``SC-offline`` are the only techniques that need profile
-    facts; for them ``summary`` is required.
+    ``technique`` may be any spec string; the *base* decides the
+    plumbing.  ``SC`` and ``SC-offline`` bases are the only ones that
+    need profile facts; for them ``summary`` is required.
     """
-    if technique not in ("SC", "SC-offline"):
+    base = TechniqueSpec.parse(technique).base
+    if base not in ("SC", "SC-offline"):
         return {}
     if summary is None:
         raise ConfigurationError(
             f"{technique} needs a ProfileSummary (burst/offline sizing)"
         )
-    if technique == "SC-offline":
+    if base == "SC-offline":
         return {"sc_fixed_size": summary.offline_size}
     # SC: online sampling burst, proportional to each thread's stores.
     # Sampling is per thread (each software cache adapts on its own MRC,
@@ -146,17 +148,14 @@ def execute_cell(
     bit-identical result the sequential harness would.  ``workload`` may
     be passed to reuse an already-built (batch-caching) instance.
     """
-    if technique not in TECHNIQUES:
-        raise ConfigurationError(
-            f"unknown technique {technique!r}; expected one of {TECHNIQUES}"
-        )
+    spec = TechniqueSpec.parse(technique)  # one parser, one error text
     if workload is None:
         workload = make_workload(config, name)
     factory_kwargs = sc_factory_kwargs(config, workload, technique, threads, summary)
     machine = Machine(config.machine_config())
     return machine.run(
         workload,
-        make_factory(technique, **factory_kwargs),
+        technique_factory(spec, **factory_kwargs),
         num_threads=threads,
         seed=config.seed,
     )
@@ -206,7 +205,7 @@ class Harness:
             machine = Machine(self.config.machine_config())
             result = machine.run(
                 self.workload(name),
-                make_factory("BEST"),
+                technique_factory("BEST"),
                 num_threads=threads,
                 seed=self.config.seed,
                 record_traces=True,
@@ -266,11 +265,16 @@ class Harness:
     # ------------------------------------------------------------------
 
     def run(self, name: str, technique: str, threads: int = 1) -> RunResult:
-        """Execute (or fetch) one workload × technique × threads run."""
-        if technique not in TECHNIQUES:
-            raise ConfigurationError(
-                f"unknown technique {technique!r}; expected one of {TECHNIQUES}"
-            )
+        """Execute (or fetch) one workload × technique × threads run.
+
+        ``technique`` may be any spec string (``"SC"``,
+        ``"SC+clean+victim:16"``, ...); it is canonicalized through the
+        one parser, so e.g. ``"SC+clean"`` and ``"SC+clean:4"`` share a
+        cache entry — and a bad spec fails here with the same error as
+        every other entry point.
+        """
+        spec = TechniqueSpec.parse(technique)
+        technique = str(spec)
         key = (name, technique, threads)
         result = self._runs.get(key)
         if result is not None:
@@ -293,7 +297,7 @@ class Harness:
                     return result
         summary = (
             self.profile_summary(name)
-            if technique in ("SC", "SC-offline")
+            if spec.base in ("SC", "SC-offline")
             else None
         )
         result = execute_cell(

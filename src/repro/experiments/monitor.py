@@ -9,7 +9,7 @@ Two modes, one pipeline (DESIGN.md §12):
   refreshing terminal dashboard, including cells computed by ``--jobs``
   worker processes (snapshots are derived parent-side from the shipped
   results, so nothing extra crosses the process boundary);
-- **follow mode** (``--follow PATH``) tails a schema-2 JSONL trace file
+- **follow mode** (``--follow PATH``) tails a schema-3 JSONL trace file
   as it is being written — e.g. a :class:`~repro.obs.live.StreamingRecorder`
   spill from another process — feeding every event into a
   :class:`~repro.obs.live.StreamingProfile` whose closed cycle-windows
@@ -38,7 +38,12 @@ from repro.obs.live import (
     default_rules,
     parse_rule,
 )
-from repro.obs.trace import TRACE_META_KIND, TRACE_SCHEMA_VERSION, V1_ARG_DEFAULTS
+from repro.obs.trace import (
+    LEGACY_ARG_NAMES,
+    TRACE_META_KIND,
+    TRACE_SCHEMA_VERSION,
+    V1_ARG_DEFAULTS,
+)
 from repro.obs.trace import _ARG_COLUMNS as ARG_COLUMNS
 
 #: How many recent rows (cells or windows) the dashboard shows.
@@ -187,8 +192,9 @@ class TraceTailer:
     Feeds complete lines into the profile as they appear, holding back
     a trailing partial line until its newline arrives.  Unknown event
     kinds are a hard error (same contract as
-    :func:`repro.obs.trace.parse_jsonl`); schema-2 fields absent from a
-    schema-1 file decode to their documented defaults.
+    :func:`repro.obs.trace.parse_jsonl`); renamed schema-2 fields read
+    back through :data:`~repro.obs.trace.LEGACY_ARG_NAMES`, and fields
+    absent from a schema-1 file decode to their documented defaults.
     """
 
     def __init__(self, path: str, profile: StreamingProfile) -> None:
@@ -237,7 +243,14 @@ class TraceTailer:
             )
         cols = [0, 0, 0]
         for name, idx in ARG_COLUMNS[kind].items():
-            cols[idx] = doc.get(name, V1_ARG_DEFAULTS.get((kind, name), 0))
+            if name in doc:
+                cols[idx] = doc[name]
+                continue
+            legacy = LEGACY_ARG_NAMES.get((kind, name))
+            if legacy is not None and legacy in doc:
+                cols[idx] = doc[legacy]
+            else:
+                cols[idx] = V1_ARG_DEFAULTS.get((kind, name), 0)
         self.profile.record(kind, doc["tid"], doc["ts"], cols[0], cols[1], cols[2])
         self.events += 1
         return True

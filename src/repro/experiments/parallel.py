@@ -54,8 +54,15 @@ from repro.experiments.transport import (
 )
 from repro.nvram.stats import RunResult
 
-#: Techniques whose cells require a profiling pass first.
+#: Base techniques whose cells require a profiling pass first.
 _NEEDS_SUMMARY = ("SC", "SC-offline")
+
+
+def _needs_summary(technique: str) -> bool:
+    """Whether a technique spec's *base* needs a profiling pass."""
+    from repro.cache.spec import TechniqueSpec
+
+    return TechniqueSpec.parse(technique).base in _NEEDS_SUMMARY
 
 
 # ---------------------------------------------------------------------------
@@ -118,12 +125,12 @@ def make_task_handlers(
 
     def handle_shard(payload) -> Dict:
         """One shard of a sharded run; batches arrive via shared memory."""
-        from repro.cache.policies import make_factory
+        from repro.cache.spec import technique_factory
         from repro.nvram.sharded import run_one_shard
 
         name, technique, factory_kwargs, manifest, shard_config, seed = payload
         batches = attach_batches(manifest)
-        factory = make_factory(technique, **factory_kwargs)
+        factory = technique_factory(technique, **factory_kwargs)
         return run_one_shard(shard_config, name, factory, batches, seed).to_dict()
 
     return {
@@ -187,18 +194,18 @@ def run_grid_parallel(
     need_summary = {
         name
         for (name, technique, _threads) in pending
-        if technique in _NEEDS_SUMMARY and name not in harness._summaries
+        if _needs_summary(technique) and name not in harness._summaries
     }
 
     def group_summaries(key: Tuple[str, int]) -> Dict[str, ProfileSummary]:
         name = key[0]
-        if any(t in _NEEDS_SUMMARY for (_n, t, _th) in groups[key]):
+        if any(_needs_summary(t) for (_n, t, _th) in groups[key]):
             return {name: harness._summaries[name]}
         return {}
 
     def group_blocked(key: Tuple[str, int]) -> bool:
         return key[0] in need_summary and any(
-            t in _NEEDS_SUMMARY for (_n, t, _th) in groups[key]
+            _needs_summary(t) for (_n, t, _th) in groups[key]
         )
 
     # Largest groups first, so stragglers start early and small groups
@@ -273,8 +280,9 @@ def run_sharded_parallel(
     returns, bit-identically — shard execution is deterministic and
     merge order is shard order regardless of completion order.
 
-    ``technique`` is a ``repro.cache.policies.make_factory`` name;
-    ``factory_kwargs`` its keyword arguments (e.g. ``sc_fixed_size``).
+    ``technique`` is a technique spec string (see
+    ``repro.cache.spec.TechniqueSpec``); ``factory_kwargs`` the base
+    technique's keyword context (e.g. ``sc_fixed_size``).
     """
     from repro.nvram.sharded import (
         DEFAULT_BARRIER_EVERY,
@@ -365,6 +373,11 @@ def grid_for(harness: Harness, artifact: str) -> List[Cell]:
                 cells += [(name, "SC", n), (name, "SC-offline", n)]
     elif artifact == "adaptation":
         cells += [(name, "SC", 1) for name in everything]
+    elif artifact == "policyzoo":
+        from repro.experiments.tables import POLICY_ZOO_SPECS, POLICY_ZOO_WORKLOADS
+
+        for name in POLICY_ZOO_WORKLOADS:
+            cells += [(name, spec, 1) for spec in POLICY_ZOO_SPECS]
     elif artifact in ("figure2", "figure7"):
         pass
     elif artifact == "all":
@@ -372,7 +385,7 @@ def grid_for(harness: Harness, artifact: str) -> List[Cell]:
             cell
             for art in (
                 "table1", "table2", "table3", "table4", "adaptation",
-                "figure4", "figure5", "figure6", "figure8",
+                "policyzoo", "figure4", "figure5", "figure6", "figure8",
             )
             for cell in grid_for(harness, art)
         )

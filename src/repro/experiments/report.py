@@ -17,6 +17,7 @@ from repro.experiments.harness import Harness, HarnessConfig
 from repro.experiments.tables import (
     Artifact,
     adaptation,
+    policyzoo,
     table1,
     table2,
     table3,
@@ -31,6 +32,7 @@ GENERATORS: Dict[str, Callable[[Harness], Artifact]] = {
     "table3": table3,
     "table4": table4,
     "adaptation": adaptation,
+    "policyzoo": policyzoo,
     "figure2": figure2,
     "figure4": figure4,
     "figure5": figure5,
@@ -54,6 +56,12 @@ _NOTES = {
     "adaptation": "Expected shape: the online history converges after "
                   "one or two selections, and the final size lands on "
                   "(or within a couple of lines of) the offline knee.",
+    "policyzoo": "Expected shape: every composed policy stays within a "
+                 "few percent of plain SC on time; nhit/cutoff shift "
+                 "flushes into the bypass column without raising the "
+                 "total ratio much; clean keeps totals flat while "
+                 "moving evictions to idle quanta; victim absorbs "
+                 "re-referenced evictions.",
     "figure2": "Expected shape: sharp drop at the knee near 23; flat "
                "beyond.",
     "figure4": "Expected shape: BEST > SC-offline >= SC > AT > ER = 1 "

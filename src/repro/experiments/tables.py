@@ -41,6 +41,23 @@ PAPER_TABLE2_SPEEDUPS = {
 #: and linked-list and queue, which are already optimal").
 AVERAGE_EXCLUDED = ("persistent-array", "linked-list", "queue")
 
+#: The policy-zoo head-to-head grid: each composable stage alone at its
+#: default parameter, the full stack, and both SC baselines.  Specs are
+#: canonical :class:`~repro.cache.spec.TechniqueSpec` strings.
+POLICY_ZOO_SPECS = (
+    "SC",
+    "SC+nhit:2",
+    "SC+cutoff:8",
+    "SC+clean:4",
+    "SC+victim:16",
+    "SC+nhit:2+clean:4+victim:16",
+    "SC-offline",
+)
+
+#: Workloads the zoo runs on: one FASE-dense queue, one hash-scatter,
+#: and the paper's main mixed benchmark.
+POLICY_ZOO_WORKLOADS = ("queue", "hash", "mdb")
+
 
 @dataclass
 class Artifact:
@@ -256,6 +273,57 @@ def table4(
     )
     return Artifact(
         "table4", "Table IV: water-spatial across thread counts", rows, text=text
+    )
+
+
+def policyzoo(harness: Harness) -> Artifact:
+    """Policy zoo: composed write-cache policy stages head to head.
+
+    Runs every spec in :data:`POLICY_ZOO_SPECS` on each zoo workload and
+    reports time, speedup over plain SC (same workload), flush ratio,
+    and the per-stage flush provenance (clean / bypass / victim
+    counters) — the table the paper's §V would have shown had ALRU-style
+    cleaning and admission filters been part of the evaluation.
+    """
+    rows = []
+    for name in POLICY_ZOO_WORKLOADS:
+        base = harness.run(name, "SC")
+        for spec in POLICY_ZOO_SPECS:
+            r = harness.run(name, spec)
+            rows.append(
+                {
+                    "workload": name,
+                    "spec": spec,
+                    "time_cycles": r.time,
+                    "speedup_vs_sc": round(speedup(base, r), 3),
+                    "flush_ratio": r.flush_ratio,
+                    "clean_flushes": sum(t.clean_flushes for t in r.threads),
+                    "bypass_flushes": sum(t.bypass_flushes for t in r.threads),
+                    "victim_flushes": sum(t.victim_flushes for t in r.threads),
+                }
+            )
+    text = format_table(
+        ["workload", "spec", "time (Mcycles)", "vs SC", "flush ratio",
+         "clean", "bypass", "victim"],
+        [
+            [
+                r["workload"],
+                r["spec"],
+                f"{r['time_cycles'] / 1e6:.2f}",
+                f"{r['speedup_vs_sc']}x",
+                f"{r['flush_ratio']:.5f}",
+                r["clean_flushes"],
+                r["bypass_flushes"],
+                r["victim_flushes"],
+            ]
+            for r in rows
+        ],
+    )
+    return Artifact(
+        "policyzoo",
+        "Policy zoo: composed write-cache policies head to head",
+        rows,
+        text=text,
     )
 
 

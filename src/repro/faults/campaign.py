@@ -250,6 +250,12 @@ def run_campaign(
     cache performs no replays at all, so both stay empty then.
     """
     spec = spec or FaultCampaignSpec()
+    # One parser for every entry point: reject bad specs up front and
+    # canonicalize (``SC+clean`` == ``SC+clean:4``) so the campaign
+    # cache key and the reported matrix agree on the spec's spelling.
+    from repro.cache.spec import TechniqueSpec
+
+    technique = str(TechniqueSpec.parse(technique))
     if isinstance(workload, str):
         from repro.workloads.registry import get_workload
 

@@ -263,9 +263,14 @@ class AtlasReplayDriver:
                     else:
                         rt.fases.end()
             positions[tid] = pos
+            # Sessions have no Machine.run scheduler loop, so the replay
+            # fires the technique's quantum hook (background cleaning)
+            # at its own quantum boundaries — cleaning stages stay live
+            # under crash campaigns, and a PowerFailure from an armed
+            # clean flush escapes exactly like one from a store.
+            rt.session.on_quantum()
             if sampling:
-                # Sessions have no Machine.run scheduler loop, so the
-                # replay samples at its own quantum boundaries instead.
+                # Same for the metrics sampling boundary.
                 rt.session.sample_metrics()
             if pos < len(stream):
                 heapq.heappush(heap, (rt.stats.cycles, tid))

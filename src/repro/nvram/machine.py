@@ -73,8 +73,22 @@ SCHED_BATCH = 64
 _FLUSH_SITE = {
     "eviction": SITE_EVICT_FLUSH,
     "resize_eviction": SITE_EVICT_FLUSH,
+    "clean": SITE_EVICT_FLUSH,
+    "victim": SITE_EVICT_FLUSH,
     "log": SITE_LOG_APPEND,
     "commit": SITE_COMMIT,
+}
+
+#: ``evict_flush`` trace-event cause codes (the event's ``cause`` arg).
+#: 0/1 are the schema-2 ``resize_evict`` flag values, so traces of the
+#: base techniques are byte-identical across the rename; 2..4 only
+#: appear when the corresponding policy stage is composed in.
+_EVICT_TRACE_CAUSE = {
+    "eviction": 0,
+    "resize_eviction": 1,
+    "clean": 2,
+    "bypass": 3,
+    "victim": 4,
 }
 
 
@@ -185,6 +199,16 @@ class FlushPort:
     def thread_id(self) -> int:
         """Id of the thread this port belongs to."""
         return self._ctx.thread_id
+
+    @property
+    def outstanding(self) -> int:
+        """Write-backs still in flight in this thread's flush queue.
+
+        Zero means the flush engine is idle — the signal the background
+        cleaning stage uses to spend write-back bandwidth the program
+        is not using.
+        """
+        return self._ctx.flushq.outstanding
 
 
 class _ThreadContext:
@@ -414,8 +438,8 @@ class Machine:
         stats.flushes += 1
         if category == "eviction" or category == "resize_eviction":
             # Resize-forced evictions stay in the eviction counter (the
-            # RunResult schema is unchanged); the trace's resize_evict
-            # flag below is what distinguishes them.
+            # RunResult schema is unchanged); the trace's cause code
+            # below is what distinguishes them.
             stats.eviction_flushes += 1
         elif category == "fase_end":
             stats.fase_end_flushes += 1
@@ -423,6 +447,12 @@ class Machine:
             stats.eager_flushes += 1
         elif category == "log" or category == "commit":
             stats.log_flushes += 1
+        elif category == "clean":
+            stats.clean_flushes += 1
+        elif category == "bypass":
+            stats.bypass_flushes += 1
+        elif category == "victim":
+            stats.victim_flushes += 1
         else:
             stats.final_flushes += 1
         if invalidate:
@@ -440,14 +470,15 @@ class Machine:
             stats.stall_cycles += stall
         rec = self.recorder
         if rec.enabled:
-            if category == "eviction" or category == "resize_eviction":
+            cause = _EVICT_TRACE_CAUSE.get(category)
+            if cause is not None:
                 rec.record(
                     EV_EVICT_FLUSH,
                     ctx.thread_id,
                     stats.cycles,
                     line,
                     int(dirty),
-                    int(category == "resize_eviction"),
+                    cause,
                 )
             if stall:
                 rec.record(EV_STALL, ctx.thread_id, stats.cycles, stall, 0)
@@ -1069,6 +1100,12 @@ class Machine:
         heap: List[Tuple[int, int]] = [(0, ctx.thread_id) for ctx in contexts]
         heapq.heapify(heap)
         metrics = self.metrics
+        # Quantum-boundary technique hooks (background cleaning stages);
+        # resolved once so techniques without the hook cost one list
+        # index per quantum.
+        quantum_hooks = [
+            getattr(ctx.technique, "on_quantum", None) for ctx in contexts
+        ]
         while heap:
             _, tid = heapq.heappop(heap)
             ctx = contexts[tid]
@@ -1077,6 +1114,15 @@ class Machine:
             except PowerFailure:
                 # A site-triggered crash; crashed_state is populated.
                 break
+            hook = quantum_hooks[tid]
+            if hook is not None and alive and self.crashed_state is None:
+                # Fires before the thread's clock is re-queued so the
+                # scheduler sees the cleaning cycles, and inside its own
+                # crash guard: clean flushes are injectable sites.
+                try:
+                    hook()
+                except PowerFailure:
+                    break
             if metrics is not None:
                 self._sample_metrics(ctx)
             rec = self.recorder
@@ -1220,6 +1266,19 @@ class MachineSession:
         return WriteTrace(self._ctx.trace_lines, self._ctx.trace_fids)
 
     # -- metrics -----------------------------------------------------------
+
+    def on_quantum(self) -> None:
+        """Fire the technique's quantum-boundary hook, if it has one.
+
+        Session-driven code has no scheduler, so drivers that want
+        background-cleaning stages to run (e.g. the crash-campaign
+        replay loop) call this at their own quantum boundaries.  A
+        :class:`~repro.nvram.failure.PowerFailure` from an armed clean
+        flush propagates to the caller, exactly as from ``store``.
+        """
+        hook = getattr(self._ctx.technique, "on_quantum", None)
+        if hook is not None:
+            hook()
 
     def sample_metrics(self) -> None:
         """Sample this thread's gauge series if its interval elapsed.

@@ -332,7 +332,7 @@ def run_sharded(
 
     ``technique_factory`` is the per-thread factory ``Machine.run``
     takes; it is invoked once per (shard, thread), so factories must be
-    reusable (every ``repro.cache.policies.make_factory`` product is).
+    reusable (every ``repro.cache.spec.technique_factory`` product is).
     """
     per_shard, stats = split_workload(
         workload, num_threads, seed, num_shards, barrier_every

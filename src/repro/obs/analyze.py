@@ -112,6 +112,10 @@ class FlushProvenance:
 
     capacity_evictions: int = 0
     resize_evictions: int = 0
+    #: Policy-stage flushes (schema-3 cause codes; zero on base runs).
+    clean_flushes: int = 0
+    bypass_flushes: int = 0
+    victim_flushes: int = 0
     dirty_evict_flushes: int = 0
     fase_drains: int = 0
     fase_drain_stall_cycles: int = 0
@@ -135,21 +139,38 @@ class FlushProvenance:
         return self.capacity_evictions + self.resize_evictions
 
     @property
+    def attributed_flushes(self) -> int:
+        """Every cause-attributed software-cache flush: evictions plus
+        the policy-stage categories (clean / bypass / victim).  Equal to
+        :attr:`evict_flushes` on base-technique traces."""
+        return (
+            self.evict_flushes
+            + self.clean_flushes
+            + self.bypass_flushes
+            + self.victim_flushes
+        )
+
+    @property
     def distinct_lines(self) -> int:
-        """How many distinct lines those eviction flushes touched."""
+        """How many distinct lines those attributed flushes touched."""
         return len(self.line_flushes)
 
     @property
     def write_amplification(self) -> float:
-        """Eviction flushes per distinct flushed line (1.0 = no re-flush)."""
+        """Attributed flushes per distinct flushed line (1.0 = no
+        re-flush).  Identical to the historical eviction-only ratio on
+        traces without policy stages."""
         n = self.distinct_lines
-        return self.evict_flushes / n if n else 0.0
+        return self.attributed_flushes / n if n else 0.0
 
     def to_dict(self) -> Dict:
         return {
             "capacity_evictions": self.capacity_evictions,
             "resize_evictions": self.resize_evictions,
             "evict_flushes": self.evict_flushes,
+            "clean_flushes": self.clean_flushes,
+            "bypass_flushes": self.bypass_flushes,
+            "victim_flushes": self.victim_flushes,
             "dirty_evict_flushes": self.dirty_evict_flushes,
             "distinct_lines": self.distinct_lines,
             "write_amplification": round(self.write_amplification, 6),
@@ -377,6 +398,9 @@ class ProfileFold:
                 per_thread[tid] = {
                     "capacity": 0,
                     "resize": 0,
+                    "clean": 0,
+                    "bypass": 0,
+                    "victim": 0,
                     "fase_drains": 0,
                     "drain_stall": 0,
                 }
@@ -392,12 +416,22 @@ class ProfileFold:
                 line_flushes[line] = line_flushes.get(line, 0) + 1
                 if b_col[i]:
                     prov.dirty_evict_flushes += 1
-                if c_col[i]:
-                    prov.resize_evictions += 1
-                    per_thread[tid]["resize"] += 1
-                else:
+                cause = c_col[i]
+                if cause == 0:
                     prov.capacity_evictions += 1
                     per_thread[tid]["capacity"] += 1
+                elif cause == 1:
+                    prov.resize_evictions += 1
+                    per_thread[tid]["resize"] += 1
+                elif cause == 2:
+                    prov.clean_flushes += 1
+                    per_thread[tid]["clean"] += 1
+                elif cause == 3:
+                    prov.bypass_flushes += 1
+                    per_thread[tid]["bypass"] += 1
+                else:
+                    prov.victim_flushes += 1
+                    per_thread[tid]["victim"] += 1
             elif kind == EV_STALL:
                 if b_col[i]:
                     prov.writeback_stall_cycles += a_col[i]
@@ -644,6 +678,21 @@ def reconcile(profile: TraceProfile, result: object) -> List[str]:
         profile.provenance.evict_flushes,
         sum(t.eviction_flushes for t in threads),
     )
+    check(
+        "clean flushes",
+        profile.provenance.clean_flushes,
+        sum(t.clean_flushes for t in threads),
+    )
+    check(
+        "bypass flushes",
+        profile.provenance.bypass_flushes,
+        sum(t.bypass_flushes for t in threads),
+    )
+    check(
+        "victim flushes",
+        profile.provenance.victim_flushes,
+        sum(t.victim_flushes for t in threads),
+    )
     check("FASE count", profile.fase.count, sum(t.fase_count for t in threads))
     prov = profile.provenance
     check(
@@ -740,6 +789,9 @@ def diff_profiles(
         ("evict_flushes", pa.evict_flushes, pb.evict_flushes),
         ("capacity_evictions", pa.capacity_evictions, pb.capacity_evictions),
         ("resize_evictions", pa.resize_evictions, pb.resize_evictions),
+        ("clean_flushes", pa.clean_flushes, pb.clean_flushes),
+        ("bypass_flushes", pa.bypass_flushes, pb.bypass_flushes),
+        ("victim_flushes", pa.victim_flushes, pb.victim_flushes),
         ("distinct_lines", pa.distinct_lines, pb.distinct_lines),
         ("write_amplification", pa.write_amplification, pb.write_amplification),
         ("fase_drains", pa.fase_drains, pb.fase_drains),

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Optional, Tuple
 
-from repro.cache.policies import make_factory
+from repro.cache.spec import TechniqueSpec, technique_factory
 from repro.experiments.harness import Harness, sc_factory_kwargs
 from repro.nvram.machine import Machine
 from repro.nvram.stats import RunResult
@@ -36,9 +36,10 @@ def traced_run(
     """
     config = harness.config
     workload = harness.workload(name)
+    spec = TechniqueSpec.parse(technique)
     summary = (
         harness.profile_summary(name)
-        if technique in ("SC", "SC-offline")
+        if spec.base in ("SC", "SC-offline")
         else None
     )
     factory_kwargs = sc_factory_kwargs(config, workload, technique, threads, summary)
@@ -49,7 +50,7 @@ def traced_run(
     machine = Machine(config.machine_config(), recorder=recorder, metrics=metrics)
     result = machine.run(
         workload,
-        make_factory(technique, **factory_kwargs),
+        technique_factory(spec, **factory_kwargs),
         num_threads=threads,
         seed=config.seed,
     )

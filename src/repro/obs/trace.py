@@ -12,10 +12,12 @@ Event taxonomy (see DESIGN.md §9, §11):
 ``fase_begin``  an outermost FASE opened (``a`` = fase uid)
 ``fase_end``    it committed — recorded *after* the technique's
                 end-of-FASE drain, so B/E spans include the drain stall
-``evict_flush`` the software cache evicted a line (``a`` = line,
-                ``b`` = 1 if the hardware line was dirty, ``c`` = 1 if
-                a capacity *resize* forced the eviction, 0 for an
-                ordinary capacity eviction)
+``evict_flush`` the software cache flushed a line off its own accord
+                (``a`` = line, ``b`` = 1 if the hardware line was
+                dirty, ``c`` = cause: 0 capacity eviction, 1 resize
+                eviction, 2 background clean, 3 filter bypass, 4
+                victim-cache overflow — causes 2..4 are schema 3,
+                written only by composed policy stages)
 ``drain``       a synchronous flush-queue drain (``a`` = stall cycles,
                 ``b`` = entries outstanding before the drain, ``c`` =
                 the committing FASE's uid for a FASE-boundary drain,
@@ -35,11 +37,15 @@ Event taxonomy (see DESIGN.md §9, §11):
                 1 for a hardware eviction write-back)
 ==============  ========================================================
 
-The ``c`` column (``resize_evict`` on ``evict_flush``, ``fase_id`` on
-``drain``) is trace schema 2; schema-1 documents (PR 2) lack those
-fields and :func:`parse_jsonl` reads them with the documented defaults
-(``resize_evict=0``, ``fase_id=-1``), so provenance degrades to
-"unattributed", never to a parse error.
+The ``c`` column (``cause`` on ``evict_flush``, ``fase_id`` on
+``drain``) arrived in trace schema 2 under the name ``resize_evict``
+(a 0/1 flag); schema 3 renames it to ``cause`` and widens it to the
+cause codes above — values 0/1 mean exactly what the schema-2 flag
+meant, so base-technique traces are byte-identical apart from the key.
+:func:`parse_jsonl` reads schema-2 documents through
+:data:`LEGACY_ARG_NAMES` and schema-1 documents (PR 2) with the
+documented defaults (``cause=0``, ``fase_id=-1``), so provenance
+degrades to "unattributed", never to a parse error.
 
 Exports: JSON-lines (a ``trace_meta`` header line carrying the schema
 version, then one event per line, sorted keys — byte-identical across
@@ -60,9 +66,11 @@ from typing import Dict, Iterable, Iterator, List, NamedTuple, Optional, Tuple
 
 #: Version of the event taxonomy written by this recorder.  Schema 2
 #: added the third event argument (``resize_evict`` on ``evict_flush``,
-#: ``fase_id`` on ``drain``); schema-1 documents read back with the
-#: defaults in :data:`V1_ARG_DEFAULTS`.
-TRACE_SCHEMA_VERSION = 2
+#: ``fase_id`` on ``drain``); schema 3 renamed ``resize_evict`` to
+#: ``cause`` and widened it to the policy-stage cause codes (clean /
+#: bypass / victim).  Older documents read back through
+#: :data:`LEGACY_ARG_NAMES` and :data:`V1_ARG_DEFAULTS`.
+TRACE_SCHEMA_VERSION = 3
 
 #: The ``kind`` of the JSONL header line (not a simulator event).
 TRACE_META_KIND = "trace_meta"
@@ -95,7 +103,7 @@ EVENT_KINDS = (
 ARG_NAMES: Dict[str, Tuple[Optional[str], Optional[str], Optional[str]]] = {
     EV_FASE_BEGIN: ("fase_id", None, None),
     EV_FASE_END: ("fase_id", None, None),
-    EV_EVICT_FLUSH: ("line", "dirty", "resize_evict"),
+    EV_EVICT_FLUSH: ("line", "dirty", "cause"),
     EV_DRAIN: ("stall_cycles", "outstanding", "fase_id"),
     EV_BURST_START: ("burst_length", None, None),
     EV_MRC_COMPUTED: ("analysis_cost", "num_candidates", None),
@@ -104,11 +112,19 @@ ARG_NAMES: Dict[str, Tuple[Optional[str], Optional[str], Optional[str]]] = {
     EV_STALL: ("stall_cycles", "source", None),
 }
 
-#: Value assumed for a schema-2 field absent from a schema-1 document,
+#: Value assumed for a newer-schema field absent from an older document,
 #: keyed by ``(kind, arg_name)``.  Anything else missing decodes as 0.
 V1_ARG_DEFAULTS: Dict[Tuple[str, str], int] = {
-    (EV_EVICT_FLUSH, "resize_evict"): 0,
+    (EV_EVICT_FLUSH, "cause"): 0,
     (EV_DRAIN, "fase_id"): -1,
+}
+
+#: Superseded JSONL key per ``(kind, current_arg_name)``: schema-2
+#: documents wrote the ``evict_flush`` cause under ``resize_evict``
+#: (same 0/1 values as cause codes 0/1), and :func:`parse_jsonl` falls
+#: back to it before assuming a default.
+LEGACY_ARG_NAMES: Dict[Tuple[str, str], str] = {
+    (EV_EVICT_FLUSH, "cause"): "resize_evict",
 }
 
 
@@ -430,10 +446,12 @@ _ARG_COLUMNS: Dict[str, Dict[str, int]] = {
 def parse_jsonl(text: str) -> TraceRecorder:
     """Rebuild a :class:`TraceRecorder` from its JSONL export.
 
-    Accepts both schema-2 documents (``trace_meta`` header line) and the
-    headerless schema-1 documents written by PR 2; fields introduced by
-    schema 2 decode to :data:`V1_ARG_DEFAULTS` when absent, so old
-    traces analyze with provenance "unattributed" rather than failing.
+    Accepts schema-3 and schema-2 documents (``trace_meta`` header line)
+    and the headerless schema-1 documents written by PR 2.  Renamed
+    fields read back through :data:`LEGACY_ARG_NAMES` (schema 2's
+    ``resize_evict`` becomes ``cause`` — the values coincide) and absent
+    fields decode to :data:`V1_ARG_DEFAULTS`, so old traces analyze with
+    provenance "unattributed" rather than failing.
     """
     from repro.common.errors import ConfigurationError
 
@@ -464,7 +482,11 @@ def parse_jsonl(text: str) -> TraceRecorder:
             if name in doc:
                 cols[idx] = doc[name]
             else:
-                cols[idx] = V1_ARG_DEFAULTS.get((kind, name), 0)
+                legacy = LEGACY_ARG_NAMES.get((kind, name))
+                if legacy is not None and legacy in doc:
+                    cols[idx] = doc[legacy]
+                else:
+                    cols[idx] = V1_ARG_DEFAULTS.get((kind, name), 0)
         rec.record(kind, doc["tid"], doc["ts"], cols[0], cols[1], cols[2])
     return rec
 

@@ -1,0 +1,51 @@
+"""Legacy entry points stay bit-identical through the TechniqueSpec shim."""
+
+import pytest
+
+from repro.cache.policies import TECHNIQUES, make_factory
+from repro.cache.spec import technique_factory
+from repro.experiments.harness import HarnessConfig
+from repro.nvram.machine import Machine
+from repro.workloads.registry import get_workload
+
+SCALE = 0.05
+KWARGS = {"SC-offline": {"sc_fixed_size": 8}}
+
+
+def run_with(factory):
+    workload = get_workload("queue", scale=SCALE)
+    config = HarnessConfig(scale=SCALE, seed=0).machine_config()
+    return Machine(config).run(workload, factory, num_threads=2, seed=0)
+
+
+@pytest.mark.parametrize("technique", TECHNIQUES)
+def test_legacy_make_factory_matches_spec_path(technique):
+    """make_factory warns but produces bit-identical results."""
+    kwargs = KWARGS.get(technique, {})
+    with pytest.warns(DeprecationWarning, match="make_factory"):
+        old = run_with(make_factory(technique, **kwargs))
+    new = run_with(technique_factory(technique, **kwargs))
+    assert old.to_dict() == new.to_dict()
+
+
+def test_runspec_canonicalizes_spec_strings():
+    from repro import api
+
+    spec = api.RunSpec(workload="queue", technique="SC+clean", scale=SCALE)
+    assert spec.technique == "SC+clean:4"
+    from repro.cache.spec import TechniqueSpec
+
+    spec = api.RunSpec(
+        workload="queue",
+        technique=TechniqueSpec.parse("SC+victim:8"),
+        scale=SCALE,
+    )
+    assert spec.technique == "SC+victim:8"
+
+
+def test_runspec_rejects_bad_specs_at_construction():
+    from repro import api
+    from repro.common.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError, match="unknown policy stage"):
+        api.RunSpec(workload="queue", technique="SC+bogus")

@@ -334,3 +334,23 @@ def test_spec_validation():
         FaultCampaignSpec(fault_models=("bogus",))
     with pytest.raises(ConfigurationError):
         FaultCampaignSpec(jobs=0)
+
+
+# ---------------------------------------------------------------------------
+# Composed policy specs under crash injection
+# ---------------------------------------------------------------------------
+
+
+def test_composed_spec_campaign_zero_violations():
+    """Background cleaning stays crash-safe: clean flushes are
+    injectable sites, and recovery still restores every FASE."""
+    matrix = exhaustive_campaign(
+        LinkedListWorkload(elements=12),
+        technique="SC-offline+clean:2+victim:4",
+        threads=1,
+        technique_options={"sc_fixed_size": 2},
+    )
+    assert matrix.technique == "SC-offline+clean:2+victim:4"
+    assert matrix.exhaustive
+    assert matrix.ok, matrix.violations[:3]
+    assert matrix.injected == matrix.total_sites > 0

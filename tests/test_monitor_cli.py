@@ -102,7 +102,7 @@ def test_cli_monitor_follow_once(tmp_path, capsys):
     assert doc["mode"] == "follow"
     assert doc["events"] > 0
     assert doc["windows_closed"] > 1
-    assert doc["profile"]["schema"] == 2
+    assert doc["profile"]["schema"] == 3
     assert log.exists()                              # created even when silent
 
 
@@ -209,4 +209,4 @@ def test_cli_profile_json_dash_writes_stdout(tmp_path, capsys):
     rc = main(["profile", "--trace", str(trace), "--json"])
     assert rc == 0
     doc = json.loads(capsys.readouterr().out)
-    assert doc["schema"] == 2
+    assert doc["schema"] == 3

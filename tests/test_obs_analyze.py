@@ -74,12 +74,18 @@ def test_flush_provenance_arithmetic():
     assert p.per_thread[0] == {
         "capacity": 4,
         "resize": 0,
+        "clean": 0,
+        "bypass": 0,
+        "victim": 0,
         "fase_drains": 1,
         "drain_stall": 25,
     }
     assert p.per_thread[1] == {
         "capacity": 0,
         "resize": 1,
+        "clean": 0,
+        "bypass": 0,
+        "victim": 0,
         "fase_drains": 0,
         "drain_stall": 0,
     }

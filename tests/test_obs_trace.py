@@ -52,7 +52,7 @@ def test_jsonl_uses_decoded_arg_names_and_sorted_keys():
     rec = TraceRecorder()
     rec.record(EV_DRAIN, 2, 100, 7, 3, 5)
     header, line = rec.to_jsonl().splitlines()
-    assert json.loads(header) == {"kind": "trace_meta", "schema": 2}
+    assert json.loads(header) == {"kind": "trace_meta", "schema": 3}
     doc = json.loads(line)
     assert doc == {
         "kind": "drain",

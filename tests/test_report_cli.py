@@ -11,7 +11,7 @@ from repro.experiments.__main__ import main
 
 def test_generators_cover_every_artifact():
     assert set(GENERATORS) == {
-        "table1", "table2", "table3", "table4", "adaptation",
+        "table1", "table2", "table3", "table4", "adaptation", "policyzoo",
         "figure2", "figure4", "figure5", "figure6", "figure7", "figure8",
     }
 
@@ -72,7 +72,7 @@ def test_cli_profile_artifact(tmp_path, capsys):
     out = capsys.readouterr().out
     assert "Flush provenance" in out
     doc = json.loads(json_out.read_text())
-    assert doc["schema"] == 2
+    assert doc["schema"] == 3
     assert html_out.read_text().startswith("<!DOCTYPE html>")
 
 

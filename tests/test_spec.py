@@ -1,0 +1,154 @@
+"""The TechniqueSpec grammar: parse/format round-trip and validation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.policies import TECHNIQUES, SoftwareCacheTechnique
+from repro.cache.spec import (
+    STAGES,
+    TechniqueSpec,
+    list_techniques,
+    technique_factory,
+)
+from repro.common.errors import ConfigurationError
+
+#: Bases every stage composes with (clean/victim are SC-only).
+SC_BASES = ("SC", "SC-offline")
+
+
+def stage_strategy(bases):
+    """Strategy over (name, param) pairs valid for one of ``bases``."""
+    names = [
+        n for n, info in STAGES.items()
+        if info.bases is None or set(bases) & set(info.bases)
+    ]
+    return st.sampled_from(names).flatmap(
+        lambda n: st.tuples(
+            st.just(n), st.integers(min_value=0, max_value=64)
+        )
+    )
+
+
+def spec_strategy():
+    """Strategy over valid TechniqueSpec values."""
+
+    def build(base):
+        allowed = [
+            n for n, info in STAGES.items()
+            if info.bases is None or base in info.bases
+        ]
+        return st.lists(
+            st.sampled_from(allowed), unique=True, max_size=len(allowed)
+        ).flatmap(
+            lambda names: st.tuples(
+                *[
+                    st.tuples(st.just(n), st.integers(0, 64))
+                    for n in names
+                ]
+            )
+        ).map(lambda stages: TechniqueSpec(base, stages))
+
+    return st.sampled_from(TECHNIQUES).flatmap(build)
+
+
+@settings(max_examples=200, deadline=None)
+@given(spec_strategy())
+def test_parse_format_round_trip(spec):
+    """parse(format(x)) == x for every valid spec."""
+    assert TechniqueSpec.parse(spec.format()) == spec
+    assert TechniqueSpec.parse(str(spec)) == spec
+
+
+@settings(max_examples=200, deadline=None)
+@given(spec_strategy())
+def test_dict_round_trip(spec):
+    """from_dict(to_dict(x)) == x, and to_dict is JSON-deterministic."""
+    import json
+
+    d = spec.to_dict()
+    assert TechniqueSpec.from_dict(d) == spec
+    # Survives a JSON round-trip (worker transport / cache keys).
+    assert TechniqueSpec.from_dict(json.loads(json.dumps(d))) == spec
+
+
+@settings(max_examples=100, deadline=None)
+@given(spec_strategy())
+def test_canonical_form_is_stable(spec):
+    """Formatting twice through a parse changes nothing."""
+    once = str(TechniqueSpec.parse(str(spec)))
+    assert str(TechniqueSpec.parse(once)) == once
+
+
+def test_default_parameters_become_explicit():
+    assert str(TechniqueSpec.parse("SC+clean")) == "SC+clean:4"
+    assert str(TechniqueSpec.parse("SC+nhit+victim")) == "SC+nhit:2+victim:16"
+
+
+def test_passthrough_and_stage_param():
+    spec = TechniqueSpec.parse("SC+nhit:3")
+    assert TechniqueSpec.parse(spec) is spec
+    assert spec.stage_param("nhit") == 3
+    assert spec.stage_param("victim") is None
+
+
+def test_unknown_base_is_rejected():
+    with pytest.raises(ConfigurationError, match="unknown technique 'XX'"):
+        TechniqueSpec.parse("XX")
+
+
+def test_unknown_stage_is_named():
+    with pytest.raises(ConfigurationError, match="unknown policy stage 'warm'"):
+        TechniqueSpec.parse("SC+warm")
+
+
+def test_duplicate_stage_is_rejected():
+    with pytest.raises(ConfigurationError, match="duplicate policy stage 'nhit'"):
+        TechniqueSpec.parse("SC+nhit:2+nhit:3")
+
+
+def test_non_integer_parameter_is_named():
+    with pytest.raises(ConfigurationError, match="integer parameter"):
+        TechniqueSpec.parse("SC+victim:big")
+
+
+def test_negative_parameter_is_rejected():
+    with pytest.raises(ConfigurationError, match="must be >= 0"):
+        TechniqueSpec(base="SC", stages=(("victim", -1),))
+
+
+def test_base_incompatible_stage_is_rejected():
+    with pytest.raises(ConfigurationError, match="requires a base technique"):
+        TechniqueSpec.parse("ER+clean")
+    with pytest.raises(ConfigurationError, match="requires a base technique"):
+        TechniqueSpec.parse("AT+victim:8")
+
+
+def test_from_dict_rejects_bad_keyset():
+    with pytest.raises(ConfigurationError, match="expected keys base/stages"):
+        TechniqueSpec.from_dict({"base": "SC"})
+
+
+def test_effective_stages_drop_noops():
+    spec = TechniqueSpec.parse("SC+nhit:1+cutoff:0+clean:0+victim:0")
+    assert spec.effective_stages() == ()
+    spec = TechniqueSpec.parse("SC+nhit:2+victim:0")
+    assert spec.effective_stages() == (("nhit", 2),)
+
+
+def test_degenerate_spec_builds_bare_base_technique():
+    """SC+victim:0 must build the *same* class as plain SC."""
+    t = technique_factory("SC+victim:0+clean:0")(0)
+    assert type(t) is SoftwareCacheTechnique
+    assert type(t) is type(technique_factory("SC")(0))
+
+
+def test_list_techniques_catalogue():
+    cat = list_techniques()
+    assert cat["bases"] == list(TECHNIQUES)
+    assert set(cat["stages"]) == set(STAGES)
+    for name, entry in cat["stages"].items():
+        assert entry["default"] == STAGES[name].default
+        assert entry["noop_below"] == STAGES[name].noop_below
+        assert set(entry) == {"default", "noop_below", "bases", "param", "doc"}
+    assert "grammar" in cat

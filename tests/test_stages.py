@@ -1,0 +1,195 @@
+"""Composable policy stages: unit behaviour and end-to-end equivalence."""
+
+import pytest
+
+from repro.cache.policies import SoftwareCacheTechnique
+from repro.cache.spec import TechniqueSpec, technique_factory
+from repro.cache.stages import StagedTechnique
+from repro.experiments.harness import Harness, HarnessConfig
+
+
+class FakePort:
+    """Records the flush calls a technique makes (no flush queue)."""
+
+    def __init__(self):
+        self.async_calls = []     # (line, category)
+        self.sync_calls = []      # (lines tuple, category)
+        self.outstanding = 0
+        self.current_fase_id = 0
+        self.thread_id = 0
+
+    def flush_async(self, line, category="eviction", invalidate=True):
+        self.async_calls.append((line, category))
+
+    def flush_sync(self, lines, category="fase_end", invalidate=True):
+        self.sync_calls.append((tuple(lines), category))
+
+    def add_overhead(self, cycles, instructions=0):
+        pass
+
+    def add_adaptation_cost(self, cycles):
+        pass
+
+    def record_selected_size(self, size):
+        pass
+
+    def record_event(self, kind, a=0, b=0):
+        pass
+
+
+def staged(spec, sc_fixed_size=4):
+    t = technique_factory(spec, sc_fixed_size=sc_fixed_size)(0)
+    port = FakePort()
+    t.bind(port)
+    return t, port
+
+
+# -- unit behaviour ------------------------------------------------------
+
+
+def test_nhit_bypasses_cold_lines_and_admits_hot_ones():
+    t, port = staged("SC+nhit:2")
+    t.on_store(7)                     # first touch: bypass
+    assert port.async_calls == [(7, "bypass")]
+    t.on_store(7)                     # second touch: admitted
+    assert port.async_calls == [(7, "bypass")]
+    assert 7 in t.inner.cache
+
+
+def test_cutoff_bypasses_streaming_runs():
+    t, port = staged("SC+cutoff:3", sc_fixed_size=16)
+    for line in (10, 11, 12, 13):
+        t.on_store(line)
+    # The run reaches length 3 at line 12: 12 and 13 bypass.
+    assert port.async_calls == [(12, "bypass"), (13, "bypass")]
+    t.on_store(50)                    # run broken: admitted again
+    assert 50 in t.inner.cache
+
+
+def test_cutoff_run_breaks_on_non_consecutive_line():
+    t, port = staged("SC+cutoff:2", sc_fixed_size=16)
+    t.on_store(1)
+    t.on_store(3)                     # not consecutive: run restarts
+    t.on_store(4)                     # run of 2 -> bypass
+    assert port.async_calls == [(4, "bypass")]
+
+
+def test_victim_catches_evictions_and_rescues_restores():
+    t, port = staged("SC-offline+victim:4", sc_fixed_size=2)
+    for line in (1, 2, 3):            # 3 evicts 1 -> victim, no flush
+        t.on_store(line)
+    assert port.async_calls == []
+    assert 1 in t._victim
+    t.on_store(1)                     # rescue: back into SC, still no flush
+    assert 1 not in t._victim
+    assert 1 in t.inner.cache
+    assert port.async_calls == []
+
+
+def test_victim_overflow_flushes_oldest():
+    t, port = staged("SC-offline+victim:1", sc_fixed_size=1)
+    for line in (1, 2, 3):            # evictions: 1 parks, then 2 pushes 1 out
+        t.on_store(line)
+    assert port.async_calls == [(1, "victim")]
+
+
+def test_victim_drains_at_fase_end_and_finish():
+    t, port = staged("SC-offline+victim:4", sc_fixed_size=1)
+    t.on_store(1)
+    t.on_store(2)                     # 1 parked in victim
+    t.on_fase_end()
+    assert port.sync_calls[-1] == ((1,), "fase_end")
+    t.on_store(3)
+    t.on_store(4)                     # 3 parked
+    t.finish()
+    assert port.sync_calls[-1] == ((3,), "final")
+
+
+def test_clean_flushes_lru_tail_when_idle():
+    t, port = staged("SC+clean:2", sc_fixed_size=8)
+    for line in (1, 2, 3):
+        t.on_store(line)
+    t.on_quantum()
+    assert port.async_calls == [(1, "clean"), (2, "clean")]
+    assert len(t.inner.cache) == 1
+
+
+def test_clean_respects_busy_flush_queue():
+    t, port = staged("SC+clean:2", sc_fixed_size=8)
+    t.on_store(1)
+    port.outstanding = 3
+    t.on_quantum()
+    assert port.async_calls == []
+
+
+def test_cost_per_store_adds_stage_bookkeeping():
+    bare = technique_factory("SC")(0)
+    t, _ = staged("SC+nhit:2+cutoff:8+victim:4")
+    assert t.cost_per_store == bare.cost_per_store + 3 + 2 + 3
+
+
+# -- stacking-order invariance ------------------------------------------
+
+
+def test_filter_stacking_order_is_invariant():
+    """nhit∘cutoff ≡ cutoff∘nhit: filters all observe every store."""
+    trace = [1, 2, 3, 4, 5, 9, 9, 9, 20, 21, 22, 23, 9, 2, 3]
+    a, port_a = staged("SC+nhit:2+cutoff:3", sc_fixed_size=8)
+    b, port_b = staged("SC+cutoff:3+nhit:2", sc_fixed_size=8)
+    for t, port in ((a, port_a), (b, port_b)):
+        for line in trace:
+            t.on_store(line)
+        t.finish()
+    assert port_a.async_calls == port_b.async_calls
+    assert port_a.sync_calls == port_b.sync_calls
+
+
+# -- end-to-end equivalence (degenerate specs ≡ plain SC) ---------------
+
+
+@pytest.fixture(scope="module")
+def harness():
+    return Harness(HarnessConfig(scale=0.05, seed=0))
+
+
+@pytest.mark.parametrize(
+    "degenerate",
+    ["SC+victim:0", "SC+clean:0", "SC+nhit:1+cutoff:0+clean:0+victim:0"],
+)
+def test_degenerate_specs_bit_identical_to_sc(harness, degenerate):
+    base = harness.run("queue", "SC")
+    staged_result = harness.run("queue", degenerate)
+    base_doc = base.to_dict()
+    staged_doc = staged_result.to_dict()
+    # The technique label keeps the canonical spec string; every counter
+    # must match bit for bit.
+    staged_doc["technique"] = base_doc["technique"]
+    assert staged_doc == base_doc
+
+
+def test_composed_run_attributes_stage_flushes(harness):
+    r = harness.run("hash", "SC+nhit:2+clean:4+victim:16")
+    assert sum(t.bypass_flushes for t in r.threads) > 0
+    assert sum(t.clean_flushes for t in r.threads) > 0
+    # Flush accounting identity: categories sum to the total.
+    for t in r.threads:
+        assert t.flushes == (
+            t.eviction_flushes + t.fase_end_flushes + t.eager_flushes
+            + t.log_flushes + t.final_flushes + t.clean_flushes
+            + t.bypass_flushes + t.victim_flushes
+        )
+
+
+def test_staged_runs_from_every_base_entry_point(harness):
+    """The same composed spec works via harness, api and factory."""
+    from repro import api
+
+    spec = "SC+victim:8"
+    r1 = harness.run("queue", spec)
+    r2 = api.run(
+        api.RunSpec(workload="queue", technique=spec, scale=0.05, seed=0)
+    )
+    assert r1.to_dict() == r2.to_dict()
+    t = technique_factory(TechniqueSpec.parse(spec))(0)
+    assert isinstance(t, StagedTechnique)
+    assert isinstance(t.inner, SoftwareCacheTechnique)
