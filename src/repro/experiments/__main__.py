@@ -509,6 +509,42 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="follow mode: stop after this long with no new trace bytes "
         "(default: follow until interrupted)",
     )
+    mon.add_argument(
+        "--fleet",
+        action="store_true",
+        help="fleet mode: watch the --jobs worker pool itself (per-worker "
+        "rows, dead-worker/straggler/RSS alerts); with --follow PATH, "
+        "tail a fleet JSONL spill instead of a trace",
+    )
+    mon.add_argument(
+        "--campaign",
+        action="store_true",
+        help="fleet mode: run a crash campaign (first of --workloads × "
+        "--techniques, with the crashmatrix sampling knobs) instead of "
+        "a grid",
+    )
+    mon.add_argument(
+        "--span-export",
+        default=None,
+        metavar="PATH",
+        help="fleet mode: write the deterministic Perfetto scheduler "
+        "timeline of the pool after the run",
+    )
+    mon.add_argument(
+        "--fleet-log",
+        default=None,
+        metavar="PATH",
+        help="fleet mode: spill every fleet event to PATH as JSONL "
+        "(tail it elsewhere with --fleet --follow PATH)",
+    )
+    mon.add_argument(
+        "--sample-interval",
+        type=float,
+        default=0.2,
+        metavar="SECONDS",
+        help="fleet mode: per-worker RSS/CPU sampling cadence "
+        "(default 0.2; 0 disables the sampler threads)",
+    )
     args = parser.parse_args(argv)
 
     # Validate technique specs up front, before any simulation starts,

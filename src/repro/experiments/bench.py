@@ -47,6 +47,12 @@ of committed files is a perf trajectory across PRs.  Three benches:
     single-CPU container (where 4 workers serialize and the measured
     "speedup" is pure overhead, < 1x) is not misread as a regression.
 
+``fleet_overhead``
+    Wall-clock price of the fleet telemetry bus
+    (:mod:`repro.obs.fleet`): one pinned parallel grid run bare and run
+    with events, resource sampling, JSONL spill and span export all
+    attached — the ratio the <= 1.10x acceptance ceiling pins.
+
 Usage::
 
     PYTHONPATH=src python -m repro.experiments.bench            # full
@@ -444,6 +450,79 @@ def bench_harness(scale: float, jobs: int) -> Dict:
     }
 
 
+#: Fleet-telemetry bench: the same parallel grid with and without the
+#: bus attached.  SC rows pull profiling summaries, so the telemetry run
+#: also prices claim labels, release tracking and the span export.
+FLEET_SCALE = 0.3
+FLEET_WORKLOADS = ("barnes", "water-spatial")
+FLEET_TECHNIQUES = ("ER", "SC")
+
+
+def bench_fleet_overhead(scale: float, jobs: int, reps: int) -> Dict:
+    """Wall-clock price of the fleet telemetry bus on a parallel grid.
+
+    One pinned grid executed ``reps`` times bare and ``reps`` times with
+    the full telemetry pipeline attached — bus events, the per-worker
+    resource sampler, the JSONL spill and the span export — best wall
+    clock each way.  ``fleet_overhead`` is the ratio the acceptance
+    criteria pin (<= 1.10x); like the harness speedup it is ``advisory``
+    when the host cannot actually run the workers, since ``jobs`` pools
+    squeezed onto fewer cores contend on the one CPU the parent needs
+    for pumping.
+    """
+    import tempfile
+
+    from repro.obs.fleet import DEFAULT_SAMPLE_INTERVAL, FleetTelemetry
+
+    cells = [
+        (name, technique, 1)
+        for name in FLEET_WORKLOADS
+        for technique in FLEET_TECHNIQUES
+    ]
+    config = HarnessConfig(scale=scale, seed=BENCH_SEED)
+
+    plain_s = float("inf")
+    plain_results = None
+    for _ in range(reps):
+        start = time.perf_counter()
+        plain_results = Harness(config).run_grid(cells, jobs=jobs)
+        plain_s = min(plain_s, time.perf_counter() - start)
+
+    fleet_s = float("inf")
+    fleet_results = None
+    fleet_events = 0
+    with tempfile.TemporaryDirectory(prefix="bench-fleet-") as tmp:
+        for rep in range(reps):
+            telemetry = FleetTelemetry(
+                spill_path=os.path.join(tmp, f"fleet-{rep}.jsonl"),
+                sample_interval=DEFAULT_SAMPLE_INTERVAL,
+                span_path=os.path.join(tmp, f"spans-{rep}.json"),
+            )
+            start = time.perf_counter()
+            with telemetry:
+                fleet_results = Harness(config).run_grid(
+                    cells, jobs=jobs, telemetry=telemetry
+                )
+            fleet_s = min(fleet_s, time.perf_counter() - start)
+            fleet_events = telemetry.aggregator.events
+
+    available = cpus_available()
+    return {
+        "cells": len(cells),
+        "jobs": jobs,
+        "cpus_available": available,
+        "advisory": available < jobs,
+        "fleet_events": fleet_events,
+        "plain_s": round(plain_s, 2),
+        "fleet_s": round(fleet_s, 2),
+        "fleet_overhead": round(fleet_s / plain_s, 3),
+        "results_identical": all(
+            plain_results[cell].to_dict() == fleet_results[cell].to_dict()
+            for cell in cells
+        ),
+    }
+
+
 #: Sharded bench: one large single run split across workers.
 SHARDED_SCALE = 1.0
 SHARDED_WORKLOAD = "water-spatial"
@@ -530,6 +609,7 @@ def run_suite(
     stream_scale = 0.05 if quick else STREAM_SCALE
     zoo_scale = 0.05 if quick else POLICY_ZOO_SCALE
     sharded_scale = 0.1 if quick else SHARDED_SCALE
+    fleet_scale = 0.05 if quick else FLEET_SCALE
     return {
         "suite_version": SUITE_VERSION,
         "schema_version": BENCH_SCHEMA_VERSION,
@@ -553,6 +633,7 @@ def run_suite(
         "policy_zoo": bench_policy_zoo(zoo_scale, reps),
         "harness": bench_harness(harness_scale, jobs),
         "sharded": bench_sharded(sharded_scale, jobs),
+        "fleet_overhead": bench_fleet_overhead(fleet_scale, jobs, reps),
     }
 
 

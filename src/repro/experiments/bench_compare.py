@@ -20,6 +20,11 @@ Rules:
   throughput ride along as informational rows; a baseline written
   before the analyzer, streaming_recorder or policy_zoo bench existed
   is still comparable (that gate is skipped with a note).
+- Absolute gates read the *new* document only: the harness parallel
+  speedup floor, the streaming recorder's overhead ceiling, and the
+  fleet telemetry bus's overhead ceiling (``fleet_overhead`` <=
+  ``FLEET_OVERHEAD_CEILING``, advisory when the host cannot run the
+  workers).  A new document missing such a section is noted, not failed.
 - Quick-mode documents use smaller pinned scales, so a quick-vs-full
   diff is flagged in the report; the throughput comparison stays
   meaningful (events/second, not wall clock) but CI should pair it with
@@ -55,6 +60,12 @@ DEFAULT_MAX_REGRESS = 3.0
 PARALLEL_SPEEDUP_FLOOR = 2.0
 PARALLEL_GATE_MIN_JOBS = 4
 STREAMING_OVERHEAD_CEILING = 1.5
+#: Fleet telemetry bus on a parallel grid: events, resource sampler,
+#: JSONL spill and span export together must stay within this multiple
+#: of the bare pool.  Advisory (noted, not gated) when the host has
+#: fewer schedulable cores than workers — the pump then contends with
+#: the serialized workers for the same CPU, a host artifact.
+FLEET_OVERHEAD_CEILING = 1.10
 
 #: Exit codes: 0 ok, 1 regression beyond threshold, 2 incomparable docs.
 EXIT_OK = 0
@@ -237,6 +248,28 @@ def compare(
             "pass" if streaming_overhead <= STREAMING_OVERHEAD_CEILING else "fail"
         )
 
+    fleet_overhead: Optional[float] = None
+    fleet_gate: Optional[str] = None
+    fleet = new.get("fleet_overhead") or {}
+    if "fleet_overhead" in fleet:
+        fleet_overhead = float(fleet["fleet_overhead"])
+        if fleet.get("advisory"):
+            fleet_gate = "advisory"
+            notes.append(
+                f"fleet_overhead section advisory (cpus_available "
+                f"{fleet.get('cpus_available')} < jobs {fleet.get('jobs')}): "
+                f"overhead {fleet_overhead}x noted, not gated"
+            )
+        else:
+            fleet_gate = (
+                "pass" if fleet_overhead <= FLEET_OVERHEAD_CEILING else "fail"
+            )
+    else:
+        notes.append(
+            "no fleet_overhead bench in new (older document); "
+            "fleet telemetry overhead not gated"
+        )
+
     ok = (
         regress_pct <= max_regress
         and (analyzer_regress_pct is None or analyzer_regress_pct <= max_regress)
@@ -247,6 +280,7 @@ def compare(
         )
         and parallel_gate != "fail"
         and streaming_gate != "fail"
+        and fleet_gate != "fail"
     )
     return {
         "schema_version": base_schema,
@@ -264,6 +298,8 @@ def compare(
         "parallel_gate": parallel_gate,
         "streaming_overhead": streaming_overhead,
         "streaming_gate": streaming_gate,
+        "fleet_overhead": fleet_overhead,
+        "fleet_gate": fleet_gate,
         "regress_pct": regress_pct,
         "max_regress": max_regress,
         "ok": ok,
@@ -327,6 +363,12 @@ def format_report(verdict: Dict) -> str:
             f"streaming_overhead {verdict['streaming_overhead']:.3f}x "
             f"(ceiling {STREAMING_OVERHEAD_CEILING:.1f}x: "
             f"{verdict['streaming_gate']})"
+        )
+    if verdict.get("fleet_overhead") is not None:
+        lines.append(
+            f"fleet_overhead     {verdict['fleet_overhead']:.3f}x "
+            f"(ceiling {FLEET_OVERHEAD_CEILING:.2f}x: "
+            f"{verdict['fleet_gate']})"
         )
     for note in verdict["notes"]:
         lines.append(f"note: {note}")

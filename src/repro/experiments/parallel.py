@@ -70,8 +70,29 @@ def _needs_summary(technique: str) -> bool:
 # ---------------------------------------------------------------------------
 
 
+def describe_task(kind: str, payload) -> str:
+    """A short human label for one pool task (fleet-bus event text)."""
+    try:
+        if kind == "summary":
+            return f"summary:{payload[0]}"
+        if kind == "cells":
+            cells = payload[1]
+            name, _technique, threads = cells[0]
+            return f"{name}/t{threads}×{len(cells)}"
+        if kind == "shard":
+            return f"shard:{payload[0]}"
+        if kind == "crash":
+            workload, chunk = payload[1], payload[3]
+            return f"crash:{getattr(workload, 'name', '?')}×{len(chunk)}"
+    except (IndexError, TypeError):
+        pass
+    return kind
+
+
 def make_task_handlers(
-    config: Optional[HarnessConfig], cache_dir: Optional[str]
+    config: Optional[HarnessConfig],
+    cache_dir: Optional[str],
+    emitter=None,
 ) -> Dict[str, object]:
     """Build one worker's task handlers around its once-built state.
 
@@ -80,8 +101,12 @@ def make_task_handlers(
     pool running only ``"shard"`` tasks never builds one) and then kept
     for the worker's lifetime — the fork-once discipline that lets batch
     materializations amortize across every task the worker pulls.
+
+    ``emitter`` is the worker's :class:`repro.obs.fleet.FleetEmitter`
+    when the pool carries telemetry; handlers with sub-task progress
+    (crash chunks) stream it through ``emitter.task_progress``.
     """
-    state: Dict[str, Harness] = {}
+    state: Dict[str, object] = {}
 
     def get_harness() -> Harness:
         harness = state.get("harness")
@@ -133,10 +158,17 @@ def make_task_handlers(
         factory = technique_factory(technique, **factory_kwargs)
         return run_one_shard(shard_config, name, factory, batches, seed).to_dict()
 
+    def handle_crash(payload) -> List[Tuple]:
+        """One crash-campaign chunk; the driver caches in worker state."""
+        from repro.faults.campaign import execute_crash_chunk
+
+        return execute_crash_chunk(state, payload, emitter=emitter)
+
     return {
         "summary": handle_summary,
         "cells": handle_cells,
         "shard": handle_shard,
+        "crash": handle_crash,
     }
 
 
@@ -150,6 +182,7 @@ def run_grid_parallel(
     cells: Sequence[Cell],
     jobs: int,
     progress=None,
+    telemetry=None,
 ):
     """Fan ``cells`` over ``jobs`` fork-once worker processes.
 
@@ -165,6 +198,15 @@ def run_grid_parallel(
     A four-parameter callback additionally receives the cell's metric
     snapshot (:func:`repro.obs.live.snapshot_from_result`), computed
     parent-side from the worker's shipped result — no extra IPC.
+
+    ``telemetry`` (:class:`repro.obs.fleet.FleetTelemetry`) attaches the
+    fleet bus to the pool and, if a span path is configured, exports the
+    deterministic scheduler timeline afterwards: every summary task and
+    cell group is registered in a :class:`repro.obs.spans.SchedulePlan`
+    up front in deterministic submission order, blocked groups carrying
+    their summary's release edge, and costs are filled in from the
+    (deterministic) results — persistent stores for summaries, modeled
+    cycles for cell groups.
     """
     from repro.obs.live import resolve_grid_progress
 
@@ -213,8 +255,30 @@ def run_grid_parallel(
     by_size = sorted(
         groups, key=lambda key: (-len(groups[key]) * key[1], key)
     )
+    plan = None
+    if telemetry is not None:
+        from repro.obs.spans import SchedulePlan
+
+        # Register the whole plan up front, in deterministic submission
+        # order — blocked groups at the position the scheduler considered
+        # them, with a release edge, not at the racy moment the release
+        # landed.  That keeps the span export a pure function of the grid.
+        plan = SchedulePlan()
+        for name in sorted(need_summary):
+            plan.add(f"summary:{name}", "summary", f"summary:{name}")
+        for key in by_size:
+            plan.add(
+                f"cells:{key[0]}:t{key[1]}",
+                "cells",
+                f"{key[0]}/t{key[1]}×{len(groups[key])}",
+                release_after=f"summary:{key[0]}" if group_blocked(key) else None,
+            )
+        if telemetry.aggregator.tasks_total is None:
+            telemetry.aggregator.tasks_total = len(need_summary) + len(by_size)
     blocked: Dict[str, List[Tuple[str, int]]] = {}
-    with WorkerPool(jobs, (harness.config, harness.cache_dir)) as pool:
+    with WorkerPool(
+        jobs, (harness.config, harness.cache_dir), telemetry=telemetry
+    ) as pool:
         task_kind: Dict[int, str] = {}
         for name in sorted(need_summary):
             task_kind[pool.submit("summary", (name, True))] = "summary"
@@ -248,6 +312,23 @@ def run_grid_parallel(
                     results[cell] = result
                     if notify is not None:
                         notify(len(results), len(cells), cell, result)
+    if plan is not None:
+        # Deterministic costs, now that every result is in hand: a
+        # summary "runs" for its workload's persistent stores, a cell
+        # group for the sum of its cells' modeled cycles.
+        for name in need_summary:
+            plan.set_cost(
+                f"summary:{name}", harness._summaries[name].persistent_stores
+            )
+        for key in by_size:
+            plan.set_cost(
+                f"cells:{key[0]}:t{key[1]}",
+                sum(
+                    max((t.cycles for t in results[cell].threads), default=1)
+                    for cell in groups[key]
+                ),
+            )
+        telemetry.export_spans(plan, jobs)
     return results
 
 

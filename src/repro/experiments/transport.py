@@ -220,29 +220,84 @@ def _preferred_context() -> mp.context.BaseContext:
     return mp.get_context("spawn")
 
 
-def _worker_main(init: Tuple, tasks, results) -> None:
+def _worker_main(init: Tuple, tasks, results, fleet: Optional[Tuple] = None) -> None:
     """Worker loop: build state once, then pull tasks until the sentinel.
 
     Every task is ``(task_id, kind, payload)``; every reply is
     ``(task_id, "ok", result)`` or ``(task_id, "error", traceback)``.
     Handlers live in :mod:`repro.experiments.parallel` (imported here,
     once, at worker start) so this module stays free of harness imports.
-    """
-    from repro.experiments.parallel import make_task_handlers
 
-    handlers = make_task_handlers(*init)
-    while True:
-        task = tasks.get()
-        if task is None:
-            return
-        task_id, kind, payload = task
-        try:
-            handler = handlers.get(kind)
-            if handler is None:
-                raise ConfigurationError(f"unknown worker task kind {kind!r}")
-            results.put((task_id, "ok", handler(payload)))
-        except BaseException:
-            results.put((task_id, "error", traceback.format_exc()))
+    ``fleet``, when given, is ``(queue, worker_index, cfg)`` from
+    :meth:`repro.obs.fleet.FleetTelemetry.worker_args`: the worker then
+    streams claim/finish/error events (and, if ``cfg["sample_interval"]``
+    is set, periodic RSS/CPU samples) over the bus.  A task's
+    ``task_finished`` event is emitted *after* its result is on the
+    result queue — if the worker dies between the two, the parent sees a
+    still-claimed task and resubmits it; the duplicate reply is filtered
+    by id, never lost.
+    """
+    import time as _time
+
+    from repro.experiments.parallel import describe_task, make_task_handlers
+
+    emitter = None
+    sampler = None
+    if fleet is not None:
+        from repro.obs.fleet import FleetEmitter, ResourceSampler
+
+        queue, index, cfg = fleet
+        emitter = FleetEmitter(queue, index)
+        emitter.worker_started()
+        interval = cfg.get("sample_interval")
+        if interval:
+            sampler = ResourceSampler(emitter, interval)
+            sampler.start()
+    handlers = make_task_handlers(*init, emitter=emitter)
+    done = 0
+    try:
+        while True:
+            task = tasks.get()
+            if task is None:
+                if emitter is not None:
+                    emitter.worker_stopped(done)
+                return
+            task_id, kind, payload = task
+            if emitter is not None:
+                emitter.task_claimed(task_id, kind, describe_task(kind, payload))
+            wall0 = _time.perf_counter()
+            cpu0 = _time.process_time()
+            try:
+                handler = handlers.get(kind)
+                if handler is None:
+                    raise ConfigurationError(f"unknown worker task kind {kind!r}")
+                results.put((task_id, "ok", handler(payload)))
+            except BaseException:
+                tb = traceback.format_exc()
+                results.put((task_id, "error", tb))
+                if emitter is not None:
+                    emitter.task_error(task_id, tb)
+                    emitter.task_finished(
+                        task_id,
+                        kind,
+                        False,
+                        _time.perf_counter() - wall0,
+                        _time.process_time() - cpu0,
+                    )
+                done += 1
+                continue
+            done += 1
+            if emitter is not None:
+                emitter.task_finished(
+                    task_id,
+                    kind,
+                    True,
+                    _time.perf_counter() - wall0,
+                    _time.process_time() - cpu0,
+                )
+    finally:
+        if sampler is not None:
+            sampler.stop()
 
 
 class WorkerPool:
@@ -252,9 +307,17 @@ class WorkerPool:
     harness config and cache dir); tasks then reference that state by
     construction instead of re-shipping it per task — the fork-once
     discipline that replaces the old one-future-per-group fan-out.
+
+    ``telemetry``, when given, is a
+    :class:`repro.obs.fleet.FleetTelemetry`: the pool creates the fleet
+    bus on its own mp context, hands each worker its emitter arguments,
+    pumps the bus while collecting, and — because claims are then
+    tracked — *recovers* from a dead worker by resubmitting its in-flight
+    tasks instead of raising.  Without telemetry a dead worker is still a
+    hard error, as before.
     """
 
-    def __init__(self, jobs: int, init: Tuple) -> None:
+    def __init__(self, jobs: int, init: Tuple, telemetry=None) -> None:
         if jobs < 1:
             raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
         ctx = _preferred_context()
@@ -262,13 +325,26 @@ class WorkerPool:
         self._results = ctx.Queue()
         self._next_id = 0
         self._outstanding = 0
+        self._telemetry = telemetry
+        #: task_id -> (kind, payload), kept for dead-worker resubmission.
+        self._payloads: Dict[int, Tuple[str, object]] = {}
+        #: Collected task ids (duplicate replies after resubmission are
+        #: dropped by membership here).
+        self._done_ids: set = set()
+        #: Worker indices whose death was already handled.
+        self._dead_handled: set = set()
+        if telemetry is not None:
+            fleet_queue = telemetry.attach(ctx, jobs)
+            proc_args = [
+                (init, self._tasks, self._results, telemetry.worker_args(i))
+                for i in range(jobs)
+            ]
+            del fleet_queue
+        else:
+            proc_args = [(init, self._tasks, self._results) for _ in range(jobs)]
         self._procs = [
-            ctx.Process(
-                target=_worker_main,
-                args=(init, self._tasks, self._results),
-                daemon=True,
-            )
-            for _ in range(jobs)
+            ctx.Process(target=_worker_main, args=args, daemon=True)
+            for args in proc_args
         ]
         for proc in self._procs:
             proc.start()
@@ -280,6 +356,8 @@ class WorkerPool:
         task_id = self._next_id
         self._next_id += 1
         self._outstanding += 1
+        if self._telemetry is not None:
+            self._payloads[task_id] = (kind, payload)
         self._tasks.put((task_id, kind, payload))
         return task_id
 
@@ -297,11 +375,18 @@ class WorkerPool:
             raise RuntimeError("no outstanding tasks to collect")
         import queue as _queue
 
+        tele = self._telemetry
         while True:
+            if tele is not None:
+                tele.pump()
             try:
                 task_id, status, result = self._results.get(timeout=_POLL_S)
-                break
             except _queue.Empty:
+                if tele is not None:
+                    tele.pump()
+                    tele.aggregator.sample_queue_depth(self._outstanding)
+                    self._recover_dead_workers()
+                    continue
                 dead = [p for p in self._procs if not p.is_alive()]
                 if dead and self._results.empty():
                     raise RuntimeError(
@@ -309,10 +394,46 @@ class WorkerPool:
                         f"replying (exit codes "
                         f"{[p.exitcode for p in dead]})"
                     ) from None
+                continue
+            if task_id in self._done_ids:
+                # A resubmitted task's duplicate reply (the original
+                # worker managed to put it before dying): drop it.
+                continue
+            break
+        self._done_ids.add(task_id)
+        self._payloads.pop(task_id, None)
         self._outstanding -= 1
         if status == "error":
             raise RuntimeError(f"worker task failed:\n{result}")
         return task_id, result
+
+    def _recover_dead_workers(self) -> None:
+        """Resubmit in-flight tasks of newly dead workers (telemetry only).
+
+        The bus's claim tracking says exactly which tasks a dead worker
+        held; resubmitting them keeps ``outstanding`` honest (the task is
+        still the same submission) and lets the surviving workers finish
+        the grid.  With *no* survivors and work left, raise — nothing
+        will ever drain the queue.
+        """
+        tele = self._telemetry
+        for index, proc in enumerate(self._procs):
+            if proc.is_alive() or index in self._dead_handled:
+                continue
+            self._dead_handled.add(index)
+            tele.worker_died(index, proc.exitcode)
+            for task_id in tele.aggregator.in_flight(index):
+                entry = self._payloads.get(task_id)
+                if entry is not None and task_id not in self._done_ids:
+                    self._tasks.put((task_id,) + entry)
+        if self._outstanding > 0 and self._results.empty() and not any(
+            p.is_alive() for p in self._procs
+        ):
+            raise RuntimeError(
+                f"all worker processes died with {self._outstanding} "
+                f"task(s) outstanding (exit codes "
+                f"{[p.exitcode for p in self._procs]})"
+            )
 
     # -- shutdown --------------------------------------------------------
 
@@ -329,6 +450,10 @@ class WorkerPool:
             if proc.is_alive():
                 proc.terminate()
                 proc.join(timeout=1.0)
+        if self._telemetry is not None:
+            # Final drain: the workers' stop events (and any samples
+            # raced with shutdown) land in the aggregator.
+            self._telemetry.pump()
         self._results.cancel_join_thread()
 
     def __enter__(self) -> "WorkerPool":

@@ -9,16 +9,19 @@ into a :class:`CrashMatrix` — the (crash-site-class × fault-model →
 verified/violated) table the ``crashmatrix`` CLI artifact emits.
 
 Replays are independent pure functions of the configuration, so they fan
-out over a ``ProcessPoolExecutor`` exactly like experiment grid cells
-(``--jobs``), and a finished campaign memoizes whole into the PR-1
-on-disk :class:`~repro.experiments.cache.ResultCache` when the workload
-is registry-named (anonymous workload objects have no stable
-fingerprint, so they always recompute).
+out over the same fork-once
+:class:`~repro.experiments.transport.WorkerPool` as experiment grid
+cells (``--jobs``) — which also means campaigns ride the fleet telemetry
+bus: pass ``telemetry=`` and every worker streams per-chunk claims and
+per-crash progress (site class, violation verdict) live.  A finished
+campaign memoizes whole into the PR-1 on-disk
+:class:`~repro.experiments.cache.ResultCache` when the workload is
+registry-named (anonymous workload objects have no stable fingerprint,
+so they always recompute).
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -185,28 +188,56 @@ class CrashMatrix:
 
 
 # ---------------------------------------------------------------------------
-# Worker entry point (module-level: must pickle by reference)
+# Worker entry point (the pool's "crash" task handler body)
 # ---------------------------------------------------------------------------
 
 
-def _campaign_worker(
-    driver_kwargs: dict,
-    workload: object,
-    golden: GoldenRun,
-    jobs: List[Tuple[int, str, int]],
+def execute_crash_chunk(
+    state: Dict[str, object],
+    payload: Tuple[dict, object, GoldenRun, List[Tuple[int, str, int]]],
+    emitter=None,
 ) -> List[Tuple[int, str, List[dict]]]:
     """Inject one chunk of ``(site, fault_model, fault_seed)`` crashes.
 
-    The driver rebuilds (and re-materializes event streams) once per
-    worker; the golden run ships from the parent, so workers never repeat
-    the crash-free replay.
+    Runs inside a :class:`~repro.experiments.transport.WorkerPool`
+    worker (dispatched by the ``"crash"`` handler in
+    :func:`repro.experiments.parallel.make_task_handlers`).  ``state``
+    is the worker's lifetime dict: the replay driver — whose
+    construction re-materializes the workload's event streams — is built
+    once per (workload, config) and reused across every chunk the worker
+    pulls, the same fork-once amortization grid cells get.  The golden
+    run ships from the parent, so workers never repeat the crash-free
+    replay.
+
+    ``emitter``, when the pool carries fleet telemetry, streams one
+    ``task_progress`` event per injected crash with the site class and
+    violation verdict — the campaign monitor's live feed.
     """
-    driver = AtlasReplayDriver(workload, **driver_kwargs)
+    driver_kwargs, workload, golden, jobs = payload
+    key = "crash_driver:{}:{}".format(
+        getattr(workload, "name", type(workload).__name__),
+        repr(sorted(driver_kwargs.items())),
+    )
+    driver = state.get(key)
+    if driver is None:
+        driver = AtlasReplayDriver(workload, **driver_kwargs)
+        state[key] = driver
     out: List[Tuple[int, str, List[dict]]] = []
     for site, model, fseed in jobs:
-        state, layout = driver.crash_at(site, fault_model=model, fault_seed=fseed)
-        violations = check_crash(golden, site, state, layout)
+        crash_state, layout = driver.crash_at(
+            site, fault_model=model, fault_seed=fseed
+        )
+        violations = check_crash(golden, site, crash_state, layout)
         out.append((site, model, [v.to_dict() for v in violations]))
+        if emitter is not None:
+            emitter.task_progress(
+                {
+                    "site": site,
+                    "model": model,
+                    "site_class": golden.site_class(site),
+                    "violated": bool(violations),
+                }
+            )
     return out
 
 
@@ -232,6 +263,7 @@ def run_campaign(
     recorder: Optional[object] = None,
     metrics: Optional[object] = None,
     progress=None,
+    telemetry=None,
 ) -> CrashMatrix:
     """Run one fault-injection campaign; see the module docstring.
 
@@ -248,6 +280,12 @@ def run_campaign(
     replay when ``spec.jobs == 1``; worker processes never ship their
     observability home).  A campaign served whole from the on-disk
     cache performs no replays at all, so both stay empty then.
+
+    ``telemetry`` (:class:`repro.obs.fleet.FleetTelemetry`) attaches the
+    fleet bus to the parallel fan-out (``spec.jobs > 1``): workers
+    stream per-chunk claims and per-crash site-class/violation progress,
+    and a configured span path gets the deterministic chunk-schedule
+    timeline.  The sequential path has no fleet and ignores it.
     """
     spec = spec or FaultCampaignSpec()
     # One parser for every entry point: reject bad specs up front and
@@ -348,18 +386,33 @@ def run_campaign(
 
     done = 0
     if spec.jobs > 1 and len(jobs) > 1:
+        from repro.experiments.transport import WorkerPool
+
         chunks: List[List[Tuple[int, str, int]]] = [
             jobs[i :: spec.jobs * 2] for i in range(spec.jobs * 2)
         ]
         chunks = [c for c in chunks if c]
-        with ProcessPoolExecutor(max_workers=spec.jobs) as pool:
-            futures = [
-                pool.submit(_campaign_worker, driver_kwargs, workload, golden, chunk)
-                for chunk in chunks
-            ]
-            collected = []
-            for future in as_completed(futures):
-                for site, model, viols in future.result():
+        plan = None
+        if telemetry is not None:
+            from repro.obs.spans import SchedulePlan
+
+            # Chunk sizes and order are deterministic (pure striding of
+            # the enumerator's selection), so the plan — and hence the
+            # span export — is a pure function of the campaign config.
+            plan = SchedulePlan()
+            for i, chunk in enumerate(chunks):
+                uid = f"crash:{i}"
+                plan.add(uid, "crash", f"crash:{name}#{i}×{len(chunk)}")
+                plan.set_cost(uid, len(chunk))
+            if telemetry.aggregator.tasks_total is None:
+                telemetry.aggregator.tasks_total = len(chunks)
+        collected = []
+        with WorkerPool(spec.jobs, (None, None), telemetry=telemetry) as pool:
+            for chunk in chunks:
+                pool.submit("crash", (driver_kwargs, workload, golden, chunk))
+            while pool.outstanding:
+                _task_id, replies = pool.next_result()
+                for site, model, viols in replies:
                     collected.append((site, model, viols))
                     done += 1
                     if notify is not None:
@@ -373,6 +426,8 @@ def run_campaign(
                                 "violated": bool(viols),
                             },
                         )
+        if plan is not None:
+            telemetry.export_spans(plan, spec.jobs)
         # Fold in deterministic order regardless of completion order.
         for site, model, viols in sorted(collected, key=lambda r: (r[1], r[0])):
             matrix.cells.setdefault(

@@ -17,6 +17,13 @@
   spill, window-folding :class:`~repro.obs.live.StreamingProfile`, and
   the rule-driven :class:`~repro.obs.live.AlertEngine` behind the
   ``monitor`` CLI artifact (DESIGN.md §12).
+- :mod:`repro.obs.fleet` — the cross-process telemetry bus for parallel
+  pools: per-worker event emitters, opt-in RSS/CPU samplers, and the
+  parent-side :class:`~repro.obs.fleet.FleetAggregator` behind
+  ``monitor --fleet`` (DESIGN.md §15).
+- :mod:`repro.obs.spans` — deterministic Perfetto timelines of the
+  pool scheduler (virtual replay of the recorded
+  :class:`~repro.obs.spans.SchedulePlan`).
 
 Tracing is strictly opt-in: machines default to the shared
 :data:`~repro.obs.trace.NULL_RECORDER`, which keeps the batched
@@ -45,7 +52,22 @@ from repro.obs.live import (
     parse_rule,
     snapshot_from_result,
 )
-from repro.obs.metrics import DEFAULT_INTERVAL, MetricsRegistry
+from repro.obs.fleet import (
+    FleetAggregator,
+    FleetEmitter,
+    FleetTelemetry,
+    ResourceSampler,
+    WorkerState,
+    fleet_rules,
+)
+from repro.obs.metrics import DEFAULT_INTERVAL, MetricsRegistry, nearest_rank
+from repro.obs.spans import (
+    SchedulePlan,
+    ScheduledSpan,
+    replay_schedule,
+    schedule_to_chrome,
+    write_schedule_spans,
+)
 from repro.obs.trace import (
     ARG_NAMES,
     EV_BURST_START,
@@ -98,7 +120,14 @@ __all__ = [
     "EV_MRC_COMPUTED",
     "EV_SIZE_SELECTED",
     "EV_STALL",
+    "FleetAggregator",
+    "FleetEmitter",
+    "FleetTelemetry",
     "MetricsRegistry",
+    "ResourceSampler",
+    "SchedulePlan",
+    "ScheduledSpan",
+    "WorkerState",
     "NULL_RECORDER",
     "NullRecorder",
     "StreamingProfile",
@@ -111,12 +140,17 @@ __all__ = [
     "analyze",
     "default_rules",
     "diff_profiles",
+    "fleet_rules",
     "max_severity",
+    "nearest_rank",
     "parse_jsonl",
     "parse_rule",
     "read_jsonl",
     "reconcile",
+    "replay_schedule",
+    "schedule_to_chrome",
     "snapshot_from_result",
+    "write_schedule_spans",
     "render_diff_html",
     "render_diff_text",
     "render_html",

@@ -292,14 +292,9 @@ class TraceProfile:
         return json.dumps(self.to_dict(), sort_keys=True, indent=1) + "\n"
 
 
-def _percentile(sorted_values: List[int], q: float) -> int:
-    """Nearest-rank percentile of an ascending list (0 when empty)."""
-    n = len(sorted_values)
-    if n == 0:
-        return 0
-    rank = int(q * n + 0.999999) if q * n != int(q * n) else int(q * n)
-    idx = max(0, min(n - 1, rank - 1))
-    return sorted_values[idx]
+# Nearest-rank percentile, shared with the fleet aggregator and the
+# registry's series helpers (one implementation, one definition of p95).
+from repro.obs.metrics import nearest_rank as _percentile  # noqa: E402
 
 
 class _ThreadFold:

@@ -1,0 +1,631 @@
+"""The fleet telemetry bus: per-worker events from pool to parent.
+
+Single runs stream *simulator* events (:mod:`repro.obs.trace`); a
+``--jobs N`` grid or crash campaign is a fleet of worker processes the
+existing pipeline cannot see.  This module adds that layer:
+
+- **Events.**  Every :class:`~repro.experiments.transport.WorkerPool`
+  worker holds a :class:`FleetEmitter` and streams small typed dicts —
+  task claimed/finished (with the cell or chunk identity and per-task
+  wall/CPU time), error tracebacks, periodic RSS/CPU resource samples
+  from an opt-in :class:`ResourceSampler` thread, per-crash campaign
+  progress — over one dedicated ``SimpleQueue`` to the parent.
+- **Fold.**  The parent-side :class:`FleetAggregator` folds the stream
+  into live per-worker state (:class:`WorkerState`) and fleet-level
+  metrics (throughput, straggler ratio, peak RSS), samples resource
+  series into a :class:`~repro.obs.metrics.MetricsRegistry`, and
+  optionally spills every event to JSONL — the file ``monitor --fleet
+  --follow`` tails from another process.
+- **Plumbing.**  :class:`FleetTelemetry` is the handle callers pass to
+  the pool: it owns the queue, the aggregator, the spill and span-export
+  paths, and the ``on_pump`` hook the live dashboard hangs off.
+
+Import direction: this module may import :mod:`repro.obs.live` and
+:mod:`repro.obs.metrics` but never :mod:`repro.experiments` — the pool
+imports *us* (workers construct emitters after fork), not vice versa.
+
+Liveness rides on the same bus: any event refreshes a worker's
+``last_seen``; the pool synthesizes a ``worker_dead`` event when a
+process exits without its stop handshake, and the aggregator's claim
+tracking (claimed but not finished) is what lets the pool resubmit a
+dead worker's in-flight tasks so the grid still completes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import Callable, Dict, IO, List, Optional, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.obs.live import AlertRule
+from repro.obs.metrics import MetricsRegistry, nearest_rank
+
+#: Spill-file header line kind and schema (bump on event-shape changes).
+FLEET_META_KIND = "fleet_meta"
+FLEET_SCHEMA_VERSION = 1
+
+#: Event kinds on the bus (the ``ev`` field of every event dict).
+FE_WORKER_START = "worker_start"
+FE_TASK_CLAIMED = "task_claimed"
+FE_TASK_FINISHED = "task_finished"
+FE_TASK_ERROR = "task_error"
+FE_TASK_PROGRESS = "task_progress"
+FE_RESOURCE_SAMPLE = "resource_sample"
+FE_WORKER_STOP = "worker_stop"
+FE_WORKER_DEAD = "worker_dead"
+
+FLEET_EVENT_KINDS = (
+    FE_WORKER_START,
+    FE_TASK_CLAIMED,
+    FE_TASK_FINISHED,
+    FE_TASK_ERROR,
+    FE_TASK_PROGRESS,
+    FE_RESOURCE_SAMPLE,
+    FE_WORKER_STOP,
+    FE_WORKER_DEAD,
+)
+
+#: Tracebacks shipped over the bus are truncated to this many chars
+#: (the full text still reaches the parent via the result queue).
+_TRACEBACK_LIMIT = 2000
+
+#: Default sampler cadence when a caller enables sampling without
+#: choosing one.
+DEFAULT_SAMPLE_INTERVAL = 0.2
+
+#: A running task younger than this many seconds is never counted as a
+#: straggler, whatever its ratio to the median — sub-second grids would
+#: otherwise alert on noise.
+STRAGGLER_MIN_AGE_S = 0.5
+
+
+def read_rss_kb() -> int:
+    """This process's resident set size in KiB.
+
+    Reads ``/proc/self/statm`` where available (current RSS); falls
+    back to ``ru_maxrss`` (peak RSS, already KiB on Linux) elsewhere.
+    """
+    try:
+        with open("/proc/self/statm", "r", encoding="ascii") as fh:
+            pages = int(fh.read().split()[1])
+        return pages * (os.sysconf("SC_PAGE_SIZE") // 1024)
+    except (OSError, ValueError, IndexError):
+        pass
+    try:
+        import resource
+
+        return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+    except Exception:
+        return 0
+
+
+# ---------------------------------------------------------------------------
+# Worker side: emitter + sampler thread
+# ---------------------------------------------------------------------------
+
+
+class FleetEmitter:
+    """One worker's handle on the bus (constructed after fork).
+
+    Emission is fire-and-forget: a parent that went away must never
+    take a worker down with it, so queue failures are swallowed.
+    """
+
+    def __init__(self, queue, worker: int) -> None:
+        self._queue = queue
+        self.worker = worker
+        self.current_task: Optional[int] = None
+
+    def emit(self, ev: str, **fields: object) -> None:
+        doc = {"ev": ev, "w": self.worker, "t": round(time.time(), 6)}
+        doc.update(fields)
+        try:
+            self._queue.put(doc)
+        except Exception:
+            pass
+
+    # -- lifecycle -------------------------------------------------------
+
+    def worker_started(self) -> None:
+        self.emit(FE_WORKER_START, pid=os.getpid())
+
+    def worker_stopped(self, done: int) -> None:
+        self.emit(FE_WORKER_STOP, done=done)
+
+    # -- tasks -----------------------------------------------------------
+
+    def task_claimed(self, task_id: int, kind: str, label: str) -> None:
+        self.current_task = task_id
+        self.emit(FE_TASK_CLAIMED, task=task_id, kind=kind, label=label)
+
+    def task_finished(
+        self, task_id: int, kind: str, ok: bool, wall_s: float, cpu_s: float
+    ) -> None:
+        self.current_task = None
+        self.emit(
+            FE_TASK_FINISHED,
+            task=task_id,
+            kind=kind,
+            ok=ok,
+            wall_s=round(wall_s, 6),
+            cpu_s=round(cpu_s, 6),
+        )
+
+    def task_error(self, task_id: int, traceback_text: str) -> None:
+        self.emit(
+            FE_TASK_ERROR, task=task_id, traceback=traceback_text[-_TRACEBACK_LIMIT:]
+        )
+
+    def task_progress(self, info: Dict) -> None:
+        """Sub-task progress (e.g. one injected crash of a chunk)."""
+        self.emit(FE_TASK_PROGRESS, task=self.current_task, info=info)
+
+    def sample(self, rss_kb: int, cpu_pct: float) -> None:
+        self.emit(FE_RESOURCE_SAMPLE, rss_kb=rss_kb, cpu_pct=round(cpu_pct, 2))
+
+
+class ResourceSampler(threading.Thread):
+    """Opt-in per-worker sampler: RSS + CPU%% every ``interval`` seconds.
+
+    A daemon thread beside the worker's task loop; each tick emits one
+    ``resource_sample`` event (which doubles as the worker's heartbeat
+    between long tasks).  CPU%% is the process-CPU-time delta over the
+    wall-clock delta since the previous tick, so a worker saturating one
+    core reads ~100 regardless of the sampling cadence.
+    """
+
+    def __init__(self, emitter: FleetEmitter, interval: float) -> None:
+        if interval <= 0:
+            raise ConfigurationError(
+                f"sample interval must be > 0 seconds, got {interval}"
+            )
+        super().__init__(daemon=True, name=f"fleet-sampler-w{emitter.worker}")
+        self.emitter = emitter
+        self.interval = float(interval)
+        # Not named ``_stop``: Thread.join() calls a private method of
+        # that name, which an Event attribute would shadow.
+        self._halt = threading.Event()
+
+    def run(self) -> None:
+        last_wall = time.perf_counter()
+        last_cpu = time.process_time()
+        while not self._halt.wait(self.interval):
+            wall = time.perf_counter()
+            cpu = time.process_time()
+            pct = 100.0 * (cpu - last_cpu) / max(wall - last_wall, 1e-9)
+            last_wall, last_cpu = wall, cpu
+            self.emitter.sample(read_rss_kb(), pct)
+
+    def stop(self) -> None:
+        self._halt.set()
+
+
+# ---------------------------------------------------------------------------
+# Parent side: per-worker state + aggregator
+# ---------------------------------------------------------------------------
+
+
+class WorkerState:
+    """Live state of one worker, folded from its event stream."""
+
+    __slots__ = (
+        "worker",
+        "pid",
+        "alive",
+        "stopped",
+        "dead",
+        "exitcode",
+        "started",
+        "last_seen",
+        "current",
+        "claims",
+        "done",
+        "errors",
+        "busy_wall_s",
+        "busy_cpu_s",
+        "rss_kb",
+        "rss_peak_kb",
+        "cpu_pct",
+        "violations",
+    )
+
+    def __init__(self, worker: int) -> None:
+        self.worker = worker
+        self.pid = 0
+        self.alive = False
+        self.stopped = False  # clean sentinel exit
+        self.dead = False  # died without the stop handshake
+        self.exitcode: Optional[int] = None
+        self.started = 0.0
+        self.last_seen = 0.0
+        #: ``{"task", "kind", "label", "since"}`` while a task runs.
+        self.current: Optional[Dict] = None
+        #: Claimed-but-unfinished task ids (what a dead worker loses).
+        self.claims: set = set()
+        self.done = 0
+        self.errors = 0
+        self.busy_wall_s = 0.0
+        self.busy_cpu_s = 0.0
+        self.rss_kb = 0
+        self.rss_peak_kb = 0
+        self.cpu_pct = 0.0
+        self.violations = 0
+
+    def status(self) -> str:
+        if self.dead:
+            return f"dead({self.exitcode})"
+        if self.stopped:
+            return "done"
+        return "alive" if self.alive else "init"
+
+    def to_dict(self) -> Dict:
+        return {
+            "worker": self.worker,
+            "pid": self.pid,
+            "status": self.status(),
+            "current": dict(self.current) if self.current else None,
+            "done": self.done,
+            "errors": self.errors,
+            "busy_wall_s": round(self.busy_wall_s, 6),
+            "busy_cpu_s": round(self.busy_cpu_s, 6),
+            "rss_kb": self.rss_kb,
+            "rss_peak_kb": self.rss_peak_kb,
+            "cpu_pct": self.cpu_pct,
+            "violations": self.violations,
+        }
+
+
+class FleetAggregator:
+    """Fold the fleet event stream into live per-worker/per-grid state.
+
+    ``observe`` accepts event dicts from the bus *or* parsed back from
+    a spill file — the same fold either way, which is what makes the
+    ``--follow`` dashboard agree with the attached one.  With
+    ``spill_path`` every observed event is appended as sorted-key JSONL
+    behind a ``fleet_meta`` header.
+    """
+
+    def __init__(
+        self,
+        *,
+        spill_path: Optional[str] = None,
+        tasks_total: Optional[int] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.workers: Dict[int, WorkerState] = {}
+        #: Resource series (``rss_kb/wN``, ``cpu_pct/wN``, ``queue_depth``)
+        #: keyed by milliseconds since the aggregator started.
+        self.metrics = metrics if metrics is not None else MetricsRegistry(interval=1)
+        self.tasks_total = tasks_total
+        self.events = 0
+        self.started = time.time()
+        #: Finished-task wall durations, for the straggler median.
+        self.durations: List[float] = []
+        #: Campaign fold: site class -> {"done": n, "violated": n}.
+        self.site_classes: Dict[str, Dict[str, int]] = {}
+        #: Last few (worker, traceback) error payloads.
+        self.tracebacks: List[Tuple[int, str]] = []
+        self._snapshots = 0
+        self._spill_path = spill_path
+        self._spill: Optional[IO[str]] = None
+        if spill_path is not None:
+            self._spill = open(spill_path, "w", encoding="utf-8")
+            self._spill.write(
+                json.dumps(
+                    {"ev": FLEET_META_KIND, "schema": FLEET_SCHEMA_VERSION},
+                    sort_keys=True,
+                    separators=(",", ":"),
+                )
+                + "\n"
+            )
+            self._spill.flush()
+
+    # -- fold ------------------------------------------------------------
+
+    def _worker(self, index: int) -> WorkerState:
+        state = self.workers.get(index)
+        if state is None:
+            state = WorkerState(index)
+            self.workers[index] = state
+        return state
+
+    def _now_ms(self, t: float) -> int:
+        return max(0, int((t - self.started) * 1000))
+
+    def observe(self, doc: Dict) -> None:
+        """Fold one event dict (from the bus or a spill line)."""
+        ev = doc.get("ev")
+        if ev == FLEET_META_KIND:
+            schema = int(doc.get("schema", FLEET_SCHEMA_VERSION))
+            if schema > FLEET_SCHEMA_VERSION:
+                raise ConfigurationError(
+                    f"fleet spill schema {schema} is newer than this "
+                    f"reader ({FLEET_SCHEMA_VERSION})"
+                )
+            return
+        if ev not in FLEET_EVENT_KINDS:
+            raise ConfigurationError(f"unknown fleet event kind {ev!r}")
+        self.events += 1
+        state = self._worker(int(doc.get("w", 0)))
+        t = float(doc.get("t", 0.0))
+        state.last_seen = max(state.last_seen, t)
+        if ev == FE_WORKER_START:
+            state.pid = int(doc.get("pid", 0))
+            state.alive = True
+            state.started = t
+        elif ev == FE_TASK_CLAIMED:
+            state.alive = True
+            state.current = {
+                "task": doc.get("task"),
+                "kind": doc.get("kind"),
+                "label": doc.get("label"),
+                "since": t,
+            }
+            state.claims.add(doc.get("task"))
+        elif ev == FE_TASK_FINISHED:
+            state.done += 1
+            if not doc.get("ok", True):
+                state.errors += 1
+            state.busy_wall_s += float(doc.get("wall_s", 0.0))
+            state.busy_cpu_s += float(doc.get("cpu_s", 0.0))
+            self.durations.append(float(doc.get("wall_s", 0.0)))
+            state.claims.discard(doc.get("task"))
+            state.current = None
+        elif ev == FE_TASK_ERROR:
+            self.tracebacks.append((state.worker, str(doc.get("traceback", ""))))
+            del self.tracebacks[:-5]
+        elif ev == FE_TASK_PROGRESS:
+            info = doc.get("info") or {}
+            cls = info.get("site_class")
+            if cls is not None:
+                cell = self.site_classes.setdefault(
+                    str(cls), {"done": 0, "violated": 0}
+                )
+                cell["done"] += 1
+                if info.get("violated"):
+                    cell["violated"] += 1
+                    state.violations += 1
+        elif ev == FE_RESOURCE_SAMPLE:
+            state.rss_kb = int(doc.get("rss_kb", 0))
+            state.rss_peak_kb = max(state.rss_peak_kb, state.rss_kb)
+            state.cpu_pct = float(doc.get("cpu_pct", 0.0))
+            ms = self._now_ms(t)
+            self.metrics.sample(f"rss_kb/w{state.worker}", ms, state.rss_kb)
+            self.metrics.sample(f"cpu_pct/w{state.worker}", ms, state.cpu_pct)
+        elif ev == FE_WORKER_STOP:
+            state.alive = False
+            state.stopped = True
+        elif ev == FE_WORKER_DEAD:
+            state.alive = False
+            state.dead = True
+            state.exitcode = doc.get("exitcode")
+            state.current = None
+        if self._spill is not None:
+            self._spill.write(
+                json.dumps(doc, sort_keys=True, separators=(",", ":")) + "\n"
+            )
+            self._spill.flush()
+
+    def sample_queue_depth(self, outstanding: int, now: Optional[float] = None) -> None:
+        """Parent-side series: tasks submitted but not yet collected."""
+        t = time.time() if now is None else now
+        self.metrics.sample("queue_depth", self._now_ms(t), outstanding)
+
+    # -- queries ---------------------------------------------------------
+
+    def in_flight(self, worker: int) -> List[int]:
+        """Tasks a worker claimed and never finished (sorted)."""
+        state = self.workers.get(worker)
+        if state is None:
+            return []
+        return sorted(t for t in state.claims if t is not None)
+
+    def tasks_done(self) -> int:
+        return sum(s.done for s in self.workers.values())
+
+    def snapshot(self, now: Optional[float] = None) -> Dict:
+        """One flat fleet metric dict (the alert engine's window feed)."""
+        t = time.time() if now is None else now
+        states = list(self.workers.values())
+        done = sum(s.done for s in states)
+        elapsed = max(t - self.started, 1e-9)
+        in_flight = sum(len(s.claims) for s in states)
+        # Straggler ratio: the oldest running task's age over the median
+        # finished-task duration (0 until both exist).
+        straggler = 0.0
+        if self.durations:
+            ages = [
+                t - s.current["since"]
+                for s in states
+                if s.current is not None
+                and t - s.current["since"] >= STRAGGLER_MIN_AGE_S
+            ]
+            if ages:
+                median = nearest_rank(sorted(self.durations), 0.5)
+                if median > 0:
+                    straggler = max(ages) / median
+        snap = {
+            "index": self._snapshots,
+            "workers": len(states),
+            "workers_alive": sum(1 for s in states if s.alive),
+            "dead_workers": sum(1 for s in states if s.dead),
+            "tasks_done": done,
+            "tasks_total": self.tasks_total if self.tasks_total is not None else 0,
+            "in_flight": in_flight,
+            "throughput_per_s": done / elapsed,
+            "straggler_ratio": straggler,
+            "max_worker_rss_mb": max(
+                (s.rss_peak_kb for s in states), default=0
+            )
+            / 1024.0,
+            "max_worker_cpu_pct": max((s.cpu_pct for s in states), default=0.0),
+            "errors": sum(s.errors for s in states),
+            "violations": sum(s.violations for s in states),
+            "elapsed_s": elapsed,
+        }
+        self._snapshots += 1
+        return snap
+
+    def close(self) -> None:
+        if self._spill is not None:
+            self._spill.close()
+            self._spill = None
+
+    def __repr__(self) -> str:
+        return (
+            f"FleetAggregator(workers={len(self.workers)}, "
+            f"events={self.events}, done={self.tasks_done()})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# The handle callers pass to the pool
+# ---------------------------------------------------------------------------
+
+
+class FleetTelemetry:
+    """Everything one pool's telemetry needs, in one handle.
+
+    Construct it, hand it to :class:`~repro.experiments.transport.WorkerPool`
+    (directly or through ``run_grid(..., telemetry=)`` /
+    ``run_campaign(..., telemetry=)``) and read
+    :attr:`aggregator` afterwards.  One instance watches one pool.
+
+    - ``spill_path`` — append every event as JSONL (for ``--follow``).
+    - ``sample_interval`` — enable the per-worker resource sampler
+      (seconds; ``None`` disables, the opt-in default).
+    - ``span_path`` — where the pool's deterministic scheduler span
+      export lands (written by the grid/campaign runner via
+      :meth:`export_spans`).
+    - ``on_pump`` — called with the aggregator after every pump that
+      folded at least one event (the live dashboard hook).
+    """
+
+    def __init__(
+        self,
+        *,
+        spill_path: Optional[str] = None,
+        sample_interval: Optional[float] = None,
+        span_path: Optional[str] = None,
+        tasks_total: Optional[int] = None,
+        on_pump: Optional[Callable[["FleetAggregator"], None]] = None,
+    ) -> None:
+        self.aggregator = FleetAggregator(
+            spill_path=spill_path, tasks_total=tasks_total
+        )
+        self.sample_interval = sample_interval
+        self.span_path = span_path
+        self.on_pump = on_pump
+        self._queue = None
+
+    # -- pool-facing -----------------------------------------------------
+
+    def attach(self, ctx, jobs: int):
+        """Create the bus queue on the pool's mp context; returns it."""
+        self._queue = ctx.SimpleQueue()
+        return self._queue
+
+    def worker_args(self, index: int) -> Tuple:
+        """The ``fleet`` tuple one worker's main loop receives."""
+        if self._queue is None:
+            raise ConfigurationError("attach() must run before worker_args()")
+        return (self._queue, index, {"sample_interval": self.sample_interval})
+
+    def pump(self) -> int:
+        """Drain the bus into the aggregator; returns events folded.
+
+        Non-blocking: ``empty()`` can transiently miss an in-flight
+        event, which the next pump picks up.  Safe to call at any
+        point, including after the pool closed.
+        """
+        q = self._queue
+        if q is None:
+            return 0
+        folded = 0
+        while True:
+            try:
+                if q.empty():
+                    break
+                doc = q.get()
+            except (OSError, ValueError, EOFError):
+                break
+            self.aggregator.observe(doc)
+            folded += 1
+        if folded and self.on_pump is not None:
+            self.on_pump(self.aggregator)
+        return folded
+
+    def worker_died(self, index: int, exitcode: Optional[int]) -> None:
+        """Parent-synthesized death event (no worker left to send one)."""
+        self.aggregator.observe(
+            {
+                "ev": FE_WORKER_DEAD,
+                "w": index,
+                "t": round(time.time(), 6),
+                "exitcode": exitcode,
+            }
+        )
+
+    # -- caller-facing ---------------------------------------------------
+
+    def export_spans(self, plan, jobs: int, run_id: str = "") -> None:
+        """Write the scheduler span export, if a path was configured."""
+        if self.span_path is None:
+            return
+        from repro.obs.spans import write_schedule_spans
+
+        write_schedule_spans(plan, jobs, self.span_path, run_id=run_id)
+
+    def close(self) -> None:
+        self.pump()
+        self.aggregator.close()
+
+    def __enter__(self) -> "FleetTelemetry":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------------
+# Fleet alert rules
+# ---------------------------------------------------------------------------
+
+
+def fleet_rules() -> List[AlertRule]:
+    """Stock rules over :meth:`FleetAggregator.snapshot` metrics.
+
+    The failure shapes a fleet adds over a single run: a worker died
+    (always an error — the pool recovers, but the run burned work), a
+    straggler dominating the tail (the scheduler's longest-group-first
+    heuristic should keep this near 1), and a worker's RSS growing past
+    what a laptop-class host tolerates.
+    """
+    return [
+        AlertRule(
+            name="dead_worker",
+            metric="dead_workers",
+            op=">",
+            value=0,
+            severity="error",
+        ),
+        AlertRule(
+            name="straggler_ratio",
+            metric="straggler_ratio",
+            kind="sustained",
+            op=">",
+            value=4.0,
+            window=3,
+            severity="warning",
+        ),
+        AlertRule(
+            name="worker_rss_ceiling",
+            metric="max_worker_rss_mb",
+            op=">",
+            value=2048,
+            severity="warning",
+        ),
+    ]

@@ -23,6 +23,25 @@ from repro.common.errors import ConfigurationError
 DEFAULT_INTERVAL = 10_000
 
 
+def nearest_rank(sorted_values, q: float):
+    """Nearest-rank percentile of an ascending list (0 when empty).
+
+    The one percentile implementation shared by the trace analyzer's
+    FASE latency summary and the fleet aggregator's straggler fold, so
+    single-run and fleet summaries agree on what "p95" means.  ``q`` is
+    a fraction in ``[0, 1]``; the result is always an element of the
+    input (never interpolated), which keeps integer series integral.
+    """
+    n = len(sorted_values)
+    if n == 0:
+        return 0
+    if not 0.0 <= q <= 1.0:
+        raise ConfigurationError(f"percentile fraction must be in [0, 1], got {q}")
+    rank = int(q * n + 0.999999) if q * n != int(q * n) else int(q * n)
+    idx = max(0, min(n - 1, rank - 1))
+    return sorted_values[idx]
+
+
 class MetricsRegistry:
     """Counters, gauges and interval-sampled time series.
 
@@ -106,6 +125,42 @@ class MetricsRegistry:
     def series_names(self) -> List[str]:
         """All series names, sorted."""
         return sorted(self._series)
+
+    def series_percentile(self, name: str, q: float) -> float:
+        """Nearest-rank percentile of one series' values.
+
+        Same :func:`nearest_rank` semantics as the trace analyzer's FASE
+        latency percentiles; raises on an unknown series, returns 0 for
+        an empty one.
+        """
+        return nearest_rank(sorted(self.series(name)[1]), q)
+
+    def series_histogram(
+        self, name: str, bins: int = 10
+    ) -> List[Tuple[float, float, int]]:
+        """Equal-width value histogram of one series.
+
+        Returns ``[(lo, hi, count), ...]`` with ``bins`` contiguous
+        buckets spanning ``[min, max]``; a constant (or empty) series
+        collapses to one bucket.  Pure arithmetic on the recorded
+        values, so the result is as deterministic as the series.
+        """
+        if bins < 1:
+            raise ConfigurationError(f"histogram bins must be >= 1, got {bins}")
+        values = self.series(name)[1]
+        if not values:
+            return [(0.0, 0.0, 0)]
+        lo, hi = min(values), max(values)
+        if lo == hi or bins == 1:
+            return [(float(lo), float(hi), len(values))]
+        width = (hi - lo) / bins
+        counts = [0] * bins
+        for v in values:
+            counts[min(bins - 1, int((v - lo) / width))] += 1
+        return [
+            (float(lo + i * width), float(lo + (i + 1) * width), counts[i])
+            for i in range(bins)
+        ]
 
     # -- export ----------------------------------------------------------
 

@@ -1,0 +1,292 @@
+"""Scheduler spans: a deterministic Perfetto timeline of the worker pool.
+
+The parallel layer's scheduler makes decisions the single-run trace
+never sees: which ``(workload, threads)`` groups interleave with the
+profiling summaries they wait on, when a blocked group is *released*,
+which worker steals which chunk, and how long the straggler tail runs
+after the queue drains.  This module turns those decisions into a
+Chrome/Perfetto ``trace_event`` export of the pool itself — one track
+per worker, one ``X`` span per task, instants on a dedicated scheduler
+track for every group release, and a queue-depth counter series.
+
+**Determinism.**  Real pool timing is racy: which worker pulls which
+task depends on host scheduling, so wall-clock spans differ between two
+identical runs.  The export here is instead a *replay*: the caller
+records the scheduler's inputs in a :class:`SchedulePlan` — every task
+in deterministic submission order, its release edge (the summary that
+unblocks it) and a deterministic cost (model cycles for cell groups,
+persistent stores for summaries, chunk length for crash chunks) — and
+:func:`replay_schedule` simulates the pool's own policy (shared FIFO
+queue, first free worker wins, lowest index breaks ties) in virtual
+time.  The result is a pure function of ``(plan, jobs)``, so two
+identical runs export byte-identical files (``sort_keys`` + ``indent=1``
+JSON, the same contract as :meth:`repro.obs.trace.TraceRecorder.to_chrome`),
+while still showing the shapes that matter: summary-before-cells
+interleaving, release points, work-stealing backfill and the straggler
+tail.  Virtual time is in cost units (exported as microseconds for the
+viewer); it is a model of the schedule, not a wall-clock measurement —
+the wall-clock view lives in the fleet aggregator's live state.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.errors import ConfigurationError
+
+#: Bump when the exported document shape changes.
+SPAN_SCHEMA_VERSION = 1
+
+
+@dataclass
+class PlannedTask:
+    """One pool task as the scheduler saw it (uid is any hashable)."""
+
+    uid: object
+    kind: str
+    label: str
+    order: int
+    release_after: Optional[object] = None
+    cost: int = 1
+
+
+class SchedulePlan:
+    """The scheduler's inputs, recorded in deterministic order.
+
+    ``add`` every task in submission order (blocked groups included, at
+    the position the scheduler *considered* them — not the racy moment
+    their release landed), then ``set_cost`` once deterministic costs
+    are known.  ``release_after`` names the task whose completion
+    releases this one; it must already be in the plan.
+    """
+
+    def __init__(self) -> None:
+        self.tasks: Dict[object, PlannedTask] = {}
+
+    def add(
+        self,
+        uid: object,
+        kind: str,
+        label: str,
+        *,
+        release_after: Optional[object] = None,
+    ) -> None:
+        if uid in self.tasks:
+            raise ConfigurationError(f"duplicate planned task {uid!r}")
+        if release_after is not None and release_after not in self.tasks:
+            raise ConfigurationError(
+                f"task {uid!r} released by unknown task {release_after!r} "
+                f"(releasers must be planned first)"
+            )
+        self.tasks[uid] = PlannedTask(
+            uid=uid,
+            kind=kind,
+            label=label,
+            order=len(self.tasks),
+            release_after=release_after,
+        )
+
+    def set_cost(self, uid: object, cost: int) -> None:
+        """Attach a task's deterministic duration (clamped to >= 1)."""
+        task = self.tasks.get(uid)
+        if task is None:
+            raise ConfigurationError(f"no planned task {uid!r}")
+        task.cost = max(1, int(cost))
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+
+@dataclass(frozen=True)
+class ScheduledSpan:
+    """One task placed on one virtual worker's timeline."""
+
+    worker: int
+    start: int
+    end: int
+    task: PlannedTask
+
+
+def replay_schedule(
+    plan: SchedulePlan, jobs: int
+) -> Tuple[List[ScheduledSpan], List[Tuple[int, PlannedTask]]]:
+    """Simulate the pool's scheduling policy in virtual time.
+
+    Returns ``(spans, releases)``: every task placed on a worker track,
+    and every ``(virtual_time, task)`` release edge.  The simulation
+    mirrors the real pool — one shared FIFO queue in submission order, a
+    blocked task becomes eligible when its releaser finishes, and the
+    first free worker (lowest index on ties) takes the earliest eligible
+    task — so the replay is a pure, deterministic function of the plan.
+    """
+    if jobs < 1:
+        raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+    remaining = sorted(plan.tasks.values(), key=lambda t: t.order)
+    finish: Dict[object, int] = {}
+    spans: List[ScheduledSpan] = []
+    free: List[Tuple[int, int]] = [(0, j) for j in range(jobs)]
+    heapq.heapify(free)
+    while remaining:
+        t_free, worker = heapq.heappop(free)
+        chosen = None
+        for i, task in enumerate(remaining):
+            if task.release_after is None:
+                ready = 0
+            else:
+                ready = finish.get(task.release_after)
+                if ready is None:
+                    # Releaser still queued ahead (it has a smaller
+                    # order and no blocker, so it would have been
+                    # chosen first); this task is not eligible yet.
+                    continue
+            if ready <= t_free:
+                chosen = i
+                break
+        if chosen is None:
+            # Everything left waits on a release in the future: idle
+            # this worker until the earliest one.
+            ready_times = [
+                finish[t.release_after]
+                for t in remaining
+                if t.release_after in finish
+            ]
+            if not ready_times:
+                raise ConfigurationError(
+                    "schedule plan has tasks that can never be released"
+                )
+            heapq.heappush(free, (min(ready_times), worker))
+            continue
+        task = remaining.pop(chosen)
+        start = t_free
+        end = start + task.cost
+        finish[task.uid] = end
+        spans.append(ScheduledSpan(worker=worker, start=start, end=end, task=task))
+        heapq.heappush(free, (end, worker))
+    releases = sorted(
+        (
+            (finish[t.release_after], t)
+            for t in plan.tasks.values()
+            if t.release_after is not None
+        ),
+        key=lambda r: (r[0], r[1].order),
+    )
+    return spans, releases
+
+
+def schedule_to_chrome(plan: SchedulePlan, jobs: int, run_id: str = "") -> Dict:
+    """The replayed schedule as a Chrome ``trace_event`` document.
+
+    ``pid`` 0 throughout; ``tid`` 0..jobs-1 are worker tracks, ``tid``
+    ``jobs`` is the scheduler track carrying release instants and the
+    queued-tasks counter.  Virtual cost units map to microseconds.
+    ``run_id`` is carried verbatim in ``otherData`` — it is the one
+    field two otherwise-identical runs may disagree on.
+    """
+    spans, releases = replay_schedule(plan, jobs)
+    events: List[Dict] = []
+    for worker in range(jobs):
+        events.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": 0,
+                "tid": worker,
+                "args": {"name": f"worker {worker}"},
+            }
+        )
+    events.append(
+        {
+            "ph": "M",
+            "name": "thread_name",
+            "pid": 0,
+            "tid": jobs,
+            "args": {"name": "scheduler"},
+        }
+    )
+    for span in spans:
+        args = {
+            "cost": span.task.cost,
+            "submit_order": span.task.order,
+            "task": str(span.task.uid),
+        }
+        if span.task.release_after is not None:
+            args["released_by"] = str(span.task.release_after)
+        events.append(
+            {
+                "ph": "X",
+                "pid": 0,
+                "tid": span.worker,
+                "ts": span.start,
+                "dur": span.end - span.start,
+                "name": span.task.label,
+                "cat": span.task.kind,
+                "args": args,
+            }
+        )
+    for ts, task in releases:
+        events.append(
+            {
+                "ph": "i",
+                "s": "p",
+                "pid": 0,
+                "tid": jobs,
+                "ts": ts,
+                "name": f"release:{task.label}",
+                "cat": "release",
+                "args": {"task": str(task.uid)},
+            }
+        )
+    # Queued-tasks counter: how many tasks had not yet started, sampled
+    # at every span start (the moments the queue depth changes).
+    starts = sorted((s.start for s in spans))
+    depth_at: Dict[int, int] = {}
+    for i, ts in enumerate(starts):
+        depth_at[ts] = len(starts) - (i + 1)
+    for ts in sorted(depth_at):
+        events.append(
+            {
+                "ph": "C",
+                "pid": 0,
+                "tid": jobs,
+                "ts": ts,
+                "name": "queued_tasks",
+                "args": {"tasks": depth_at[ts]},
+            }
+        )
+    events.sort(key=lambda e: (e.get("ts", -1), e["tid"], e["ph"], e["name"]))
+    makespan = max((s.end for s in spans), default=0)
+    worker_busy = [0] * jobs
+    worker_end = [0] * jobs
+    for span in spans:
+        worker_busy[span.worker] += span.end - span.start
+        worker_end[span.worker] = max(worker_end[span.worker], span.end)
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "schema": SPAN_SCHEMA_VERSION,
+            "source": "repro.obs.spans (virtual scheduler replay)",
+            "jobs": jobs,
+            "tasks": len(plan),
+            "makespan": makespan,
+            # The straggler tail: how long the last worker runs on
+            # alone after the first one drains.
+            "straggler_tail": makespan - min(worker_end, default=0)
+            if spans
+            else 0,
+            "worker_busy": worker_busy,
+            "run_id": run_id,
+        },
+    }
+
+
+def write_schedule_spans(
+    plan: SchedulePlan, jobs: int, path: str, run_id: str = ""
+) -> None:
+    """Write the byte-deterministic Perfetto export of one plan."""
+    doc = schedule_to_chrome(plan, jobs, run_id=run_id)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(json.dumps(doc, sort_keys=True, indent=1) + "\n")

@@ -141,6 +141,33 @@ def test_bench_analyzer_section_shape():
     assert profile.provenance.evict_flushes > 0
 
 
+def test_fleet_overhead_ceiling_is_gated():
+    def fleet(overhead, advisory=False):
+        return dict(
+            BASE,
+            fleet_overhead={
+                "fleet_overhead": overhead,
+                "advisory": advisory,
+                "jobs": 4,
+                "cpus_available": 1 if advisory else 8,
+            },
+        )
+
+    ok = compare(BASE, fleet(1.05))
+    assert ok["ok"] and ok["fleet_gate"] == "pass"
+    assert "fleet_overhead" in format_report(ok)
+    bad = compare(BASE, fleet(1.25))
+    assert not bad["ok"] and bad["fleet_gate"] == "fail"
+    # A host that serializes the workers gets a note, not a failure.
+    noted = compare(BASE, fleet(1.25, advisory=True))
+    assert noted["ok"] and noted["fleet_gate"] == "advisory"
+    assert any("advisory" in n for n in noted["notes"])
+    # Sections live in the new document only; a missing one is a note.
+    missing = compare(BASE, BASE)
+    assert missing["ok"] and missing["fleet_overhead"] is None
+    assert any("fleet_overhead" in n for n in missing["notes"])
+
+
 def test_load_bench_rejects_non_bench_documents(tmp_path):
     path = tmp_path / "x.json"
     path.write_text(json.dumps({"hello": 1}))

@@ -1,0 +1,439 @@
+"""The fleet telemetry bus: emitters, aggregator fold, pool recovery.
+
+Unit tests drive the aggregator with synthetic event dicts (the fold is
+transport-agnostic); integration tests run real fork-once pools — a
+monkeypatched nap pool for the controlled dead-worker scenario, a real
+harness grid for the kill-mid-grid satellite, and a small crash campaign
+for the per-site-class progress feed.
+"""
+
+import json
+import os
+import signal
+import time
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.experiments.harness import Harness, HarnessConfig
+from repro.experiments.transport import WorkerPool
+from repro.obs.fleet import (
+    FE_RESOURCE_SAMPLE,
+    FE_TASK_CLAIMED,
+    FLEET_META_KIND,
+    FLEET_SCHEMA_VERSION,
+    FleetAggregator,
+    FleetEmitter,
+    FleetTelemetry,
+    ResourceSampler,
+    fleet_rules,
+    read_rss_kb,
+)
+from repro.obs.metrics import MetricsRegistry, nearest_rank
+
+
+class _ListQueue:
+    def __init__(self):
+        self.items = []
+
+    def put(self, doc):
+        self.items.append(doc)
+
+
+class _BrokenQueue:
+    def put(self, doc):
+        raise OSError("parent is gone")
+
+
+# ---------------------------------------------------------------------------
+# nearest-rank percentile + registry helpers (satellite 1)
+# ---------------------------------------------------------------------------
+
+
+def test_nearest_rank_matches_analyzer_idiom():
+    values = [10, 20, 30, 40, 50]
+    assert nearest_rank(values, 0.5) == 30
+    assert nearest_rank(values, 0.95) == 50
+    assert nearest_rank(values, 0.0) == 10
+    assert nearest_rank(values, 1.0) == 50
+    assert nearest_rank([7], 0.99) == 7
+    assert nearest_rank([], 0.5) == 0
+    # Even-length median is the lower-of-two (nearest rank, not midpoint).
+    assert nearest_rank([1, 2, 3, 4], 0.5) == 2
+    with pytest.raises(ConfigurationError):
+        nearest_rank(values, 1.5)
+
+
+def test_nearest_rank_is_the_analyzers_percentile():
+    from repro.obs.analyze import _percentile
+
+    assert _percentile is nearest_rank
+
+
+def test_registry_series_percentile_and_histogram():
+    reg = MetricsRegistry(interval=1)
+    for i, v in enumerate([5, 1, 9, 3, 7]):
+        reg.sample("lat", i, v)
+    assert reg.series_percentile("lat", 0.5) == 5
+    assert reg.series_percentile("lat", 1.0) == 9
+    hist = reg.series_histogram("lat", bins=4)
+    assert len(hist) == 4
+    assert sum(count for _lo, _hi, count in hist) == 5
+    assert hist[0][0] == 1.0 and hist[-1][1] == 9.0
+    # Boundary values land in the last bucket, none are dropped.
+    assert hist[-1][2] >= 1
+    with pytest.raises(ConfigurationError):
+        reg.series_percentile("nope", 0.5)
+    with pytest.raises(ConfigurationError):
+        reg.series_histogram("lat", bins=0)
+
+
+def test_registry_histogram_constant_series_collapses():
+    reg = MetricsRegistry(interval=1)
+    for i in range(3):
+        reg.sample("flat", i, 42)
+    assert reg.series_histogram("flat", bins=8) == [(42.0, 42.0, 3)]
+
+
+# ---------------------------------------------------------------------------
+# emitter + sampler
+# ---------------------------------------------------------------------------
+
+
+def test_emitter_event_shapes():
+    q = _ListQueue()
+    em = FleetEmitter(q, worker=3)
+    em.worker_started()
+    em.task_claimed(7, "cells", "queue/t1×2")
+    assert em.current_task == 7
+    em.task_progress({"site": 1, "violated": False})
+    em.task_finished(7, "cells", True, 0.25, 0.2)
+    assert em.current_task is None
+    em.worker_stopped(done=1)
+    kinds = [d["ev"] for d in q.items]
+    assert kinds == [
+        "worker_start", "task_claimed", "task_progress",
+        "task_finished", "worker_stop",
+    ]
+    assert all(d["w"] == 3 and "t" in d for d in q.items)
+    assert q.items[2]["task"] == 7  # progress is tagged with the claim
+
+
+def test_emitter_swallows_queue_errors():
+    em = FleetEmitter(_BrokenQueue(), worker=0)
+    em.worker_started()  # must not raise
+    em.task_error(1, "x" * 5000)
+
+
+def test_emitter_truncates_tracebacks():
+    q = _ListQueue()
+    FleetEmitter(q, 0).task_error(1, "x" * 5000)
+    assert len(q.items[0]["traceback"]) == 2000
+
+
+def test_sampler_emits_and_stops():
+    q = _ListQueue()
+    sampler = ResourceSampler(FleetEmitter(q, 0), interval=0.01)
+    sampler.start()
+    deadline = time.time() + 2.0
+    while not q.items and time.time() < deadline:
+        time.sleep(0.01)
+    sampler.stop()
+    sampler.join(timeout=2.0)
+    assert q.items and q.items[0]["ev"] == FE_RESOURCE_SAMPLE
+    assert q.items[0]["rss_kb"] > 0
+    with pytest.raises(ConfigurationError):
+        ResourceSampler(FleetEmitter(q, 0), interval=0)
+
+
+def test_read_rss_kb_positive():
+    assert read_rss_kb() > 0
+
+
+# ---------------------------------------------------------------------------
+# aggregator fold
+# ---------------------------------------------------------------------------
+
+
+def _ev(ev, w=0, t=1.0, **kw):
+    doc = {"ev": ev, "w": w, "t": t}
+    doc.update(kw)
+    return doc
+
+
+def test_aggregator_folds_a_worker_lifecycle():
+    agg = FleetAggregator(tasks_total=2)
+    agg.observe(_ev("worker_start", pid=1234, t=1.0))
+    agg.observe(_ev("task_claimed", task=0, kind="cells", label="q/t1×2", t=1.1))
+    state = agg.workers[0]
+    assert state.pid == 1234 and state.alive
+    assert state.current["label"] == "q/t1×2"
+    assert agg.in_flight(0) == [0]
+    agg.observe(_ev("task_finished", task=0, kind="cells", ok=True,
+                    wall_s=0.5, cpu_s=0.4, t=1.6))
+    assert state.done == 1 and state.current is None and not state.claims
+    assert state.busy_wall_s == pytest.approx(0.5)
+    agg.observe(_ev("resource_sample", rss_kb=2048, cpu_pct=75.0, t=1.7))
+    assert state.rss_kb == 2048 and state.rss_peak_kb == 2048
+    assert "rss_kb/w0" in agg.metrics.series_names()
+    agg.observe(_ev("worker_stop", done=1, t=2.0))
+    assert state.stopped and not state.alive
+    snap = agg.snapshot(now=2.0)
+    assert snap["tasks_done"] == 1 and snap["tasks_total"] == 2
+    assert snap["workers"] == 1 and snap["workers_alive"] == 0
+    assert snap["max_worker_rss_mb"] == pytest.approx(2.0)
+
+
+def test_aggregator_dead_event_clears_claims():
+    agg = FleetAggregator()
+    agg.observe(_ev("worker_start", pid=1, t=1.0))
+    agg.observe(_ev("task_claimed", task=5, kind="cells", label="x", t=1.1))
+    agg.observe(_ev("worker_dead", exitcode=-9, t=1.2))
+    state = agg.workers[0]
+    assert state.dead and state.exitcode == -9 and state.current is None
+    # The claim set is what the pool resubmits from — it must survive.
+    assert agg.in_flight(0) == [5]
+    assert agg.snapshot()["dead_workers"] == 1
+    assert state.status() == "dead(-9)"
+
+
+def test_aggregator_folds_campaign_progress():
+    agg = FleetAggregator()
+    agg.observe(_ev("task_progress", task=0,
+                    info={"site": 3, "site_class": "store", "violated": True}))
+    agg.observe(_ev("task_progress", task=0, w=1,
+                    info={"site": 4, "site_class": "store", "violated": False}))
+    assert agg.site_classes == {"store": {"done": 2, "violated": 1}}
+    assert agg.workers[0].violations == 1
+    assert agg.workers[1].violations == 0
+
+
+def test_aggregator_rejects_unknown_events_and_newer_schema():
+    agg = FleetAggregator()
+    with pytest.raises(ConfigurationError):
+        agg.observe({"ev": "martian", "w": 0, "t": 1.0})
+    with pytest.raises(ConfigurationError):
+        agg.observe({"ev": FLEET_META_KIND, "schema": FLEET_SCHEMA_VERSION + 1})
+    agg.observe({"ev": FLEET_META_KIND, "schema": FLEET_SCHEMA_VERSION})
+
+
+def test_aggregator_keeps_last_five_tracebacks():
+    agg = FleetAggregator()
+    for i in range(8):
+        agg.observe(_ev("task_error", task=i, traceback=f"boom {i}"))
+    assert len(agg.tracebacks) == 5
+    assert agg.tracebacks[-1][1] == "boom 7"
+
+
+def test_spill_replays_to_identical_worker_state(tmp_path):
+    spill = tmp_path / "fleet.jsonl"
+    agg = FleetAggregator(spill_path=str(spill))
+    agg.observe(_ev("worker_start", pid=42, t=1.0))
+    agg.observe(_ev("task_claimed", task=0, kind="cells", label="q", t=1.1))
+    agg.observe(_ev("task_finished", task=0, kind="cells", ok=True,
+                    wall_s=0.3, cpu_s=0.2, t=1.4))
+    agg.observe(_ev("worker_stop", done=1, t=2.0))
+    agg.close()
+
+    replayed = FleetAggregator()
+    for line in spill.read_text().splitlines():
+        replayed.observe(json.loads(line))
+    assert replayed.workers[0].to_dict() == agg.workers[0].to_dict()
+    assert replayed.events == agg.events
+    # The spill leads with its schema header.
+    first = json.loads(spill.read_text().splitlines()[0])
+    assert first == {"ev": FLEET_META_KIND, "schema": FLEET_SCHEMA_VERSION}
+
+
+def test_fleet_rules_cover_the_fleet_failure_modes():
+    rules = {r.name: r for r in fleet_rules()}
+    assert rules["dead_worker"].severity == "error"
+    assert rules["straggler_ratio"].kind == "sustained"
+    assert rules["worker_rss_ceiling"].metric == "max_worker_rss_mb"
+
+
+def test_telemetry_worker_args_requires_attach():
+    tele = FleetTelemetry()
+    with pytest.raises(ConfigurationError):
+        tele.worker_args(0)
+    assert tele.pump() == 0  # no bus yet: a no-op, not an error
+
+
+# ---------------------------------------------------------------------------
+# pool integration: recovery from a killed worker (satellite 3)
+# ---------------------------------------------------------------------------
+
+
+def _nap_handlers(config, cache_dir, emitter=None):
+    def nap(seconds):
+        time.sleep(seconds)
+        return seconds
+
+    return {"nap": nap}
+
+
+def _wait_for_claim(tele, min_age, timeout=15.0):
+    """Pump until some worker has held a claim for ``min_age`` seconds."""
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        tele.pump()
+        for state in tele.aggregator.workers.values():
+            current = state.current
+            if (
+                current is not None
+                and state.pid
+                and time.time() - current["since"] >= min_age
+            ):
+                return state
+        time.sleep(0.02)
+    return None
+
+
+def test_pool_recovers_from_sigkilled_worker(monkeypatch):
+    import repro.experiments.parallel as parallel
+
+    monkeypatch.setattr(parallel, "make_task_handlers", _nap_handlers)
+    tele = FleetTelemetry()
+    results = []
+    with WorkerPool(2, (None, None), telemetry=tele) as pool:
+        for _ in range(5):
+            pool.submit("nap", 0.4)
+        # Kill a worker that is provably inside its handler (the claim
+        # is old enough that it cannot still hold the task-queue lock).
+        victim = _wait_for_claim(tele, min_age=0.05)
+        assert victim is not None, "no worker claimed a task in time"
+        os.kill(victim.pid, signal.SIGKILL)
+        while pool.outstanding:
+            results.append(pool.next_result())
+    # Every task completed despite the kill: the dead worker's in-flight
+    # nap was resubmitted to the survivor.
+    assert sorted(r[1] for r in results) == [0.4] * 5
+    agg = tele.aggregator
+    dead = [w for w in agg.workers.values() if w.dead]
+    assert len(dead) == 1
+    assert dead[0].worker == victim.worker
+    assert dead[0].exitcode == -signal.SIGKILL
+    assert agg.snapshot()["dead_workers"] == 1
+
+
+def test_pool_without_telemetry_still_raises_on_dead_worker(monkeypatch):
+    import repro.experiments.parallel as parallel
+
+    monkeypatch.setattr(parallel, "make_task_handlers", _nap_handlers)
+    with WorkerPool(2, (None, None)) as pool:
+        for proc in pool._procs:
+            proc.terminate()
+        pool.submit("nap", 0.1)
+        with pytest.raises(RuntimeError, match="died"):
+            pool.next_result()
+
+
+def test_all_workers_dead_with_telemetry_raises(monkeypatch):
+    import repro.experiments.parallel as parallel
+
+    monkeypatch.setattr(parallel, "make_task_handlers", _nap_handlers)
+    tele = FleetTelemetry()
+    with WorkerPool(2, (None, None), telemetry=tele) as pool:
+        pool.submit("nap", 30.0)
+        pool.submit("nap", 30.0)
+        assert _wait_for_claim(tele, min_age=0.05) is not None
+        for proc in pool._procs:
+            os.kill(proc.pid, signal.SIGKILL)
+        with pytest.raises(RuntimeError, match="all worker processes died"):
+            pool.next_result()
+
+
+# ---------------------------------------------------------------------------
+# grid + campaign integration
+# ---------------------------------------------------------------------------
+
+_CELLS = [
+    ("queue", "ER", 1),
+    ("queue", "LA", 1),
+    ("hash", "ER", 1),
+    ("linked-list", "ER", 1),
+]
+
+
+def test_grid_with_telemetry_and_deterministic_spans(tmp_path):
+    spans = [tmp_path / "a.json", tmp_path / "b.json"]
+    for span in spans:
+        tele = FleetTelemetry(span_path=str(span), sample_interval=0.05)
+        harness = Harness(HarnessConfig(scale=0.02, seed=7))
+        with tele:
+            results = harness.run_grid(_CELLS, jobs=2, telemetry=tele)
+        assert len(results) == len(_CELLS)
+        snap = tele.aggregator.snapshot()
+        assert snap["tasks_done"] == snap["tasks_total"] == 3  # 3 groups
+        assert snap["dead_workers"] == 0 and snap["errors"] == 0
+    # Byte-identical across two identical runs — the racy pool timing
+    # never leaks into the export.
+    assert spans[0].read_bytes() == spans[1].read_bytes()
+    doc = json.loads(spans[0].read_text())
+    assert doc["otherData"]["tasks"] == 3
+    # Grid results unaffected by telemetry: match a sequential harness.
+    plain = Harness(HarnessConfig(scale=0.02, seed=7)).run_grid(_CELLS)
+    tele_res = Harness(HarnessConfig(scale=0.02, seed=7))
+    with FleetTelemetry() as tele2:
+        res2 = tele_res.run_grid(_CELLS, jobs=2, telemetry=tele2)
+    assert {c: r.to_dict() for c, r in plain.items()} == {
+        c: r.to_dict() for c, r in res2.items()
+    }
+
+
+def test_grid_survives_worker_killed_mid_flight():
+    killed = {}
+
+    def assassin(agg):
+        if killed:
+            return
+        for state in agg.workers.values():
+            current = state.current
+            if (
+                current is not None
+                and state.pid
+                and time.time() - current["since"] > 0.02
+            ):
+                os.kill(state.pid, signal.SIGKILL)
+                killed["worker"] = state.worker
+                return
+
+    tele = FleetTelemetry(sample_interval=0.02, on_pump=assassin)
+    harness = Harness(HarnessConfig(scale=0.05, seed=7))
+    with tele:
+        results = harness.run_grid(_CELLS, jobs=2, telemetry=tele)
+    assert killed, "assassin never fired"
+    # The grid still completed, and the death surfaced through the bus.
+    assert len(results) == len(_CELLS)
+    agg = tele.aggregator
+    assert agg.workers[killed["worker"]].dead
+    assert agg.snapshot()["dead_workers"] == 1
+
+
+def test_campaign_with_telemetry_matches_sequential(tmp_path):
+    from repro.faults.campaign import FaultCampaignSpec, run_campaign
+
+    span = tmp_path / "campaign-spans.json"
+    tele = FleetTelemetry(span_path=str(span))
+    kwargs = dict(
+        technique="SC", threads=2, scale=0.01,
+    )
+    with tele:
+        parallel_matrix = run_campaign(
+            "linked-list",
+            spec=FaultCampaignSpec(max_sites=30, jobs=2),
+            telemetry=tele,
+            **kwargs,
+        )
+    sequential_matrix = run_campaign(
+        "linked-list", spec=FaultCampaignSpec(max_sites=30, jobs=1), **kwargs
+    )
+    assert parallel_matrix.to_dict() == sequential_matrix.to_dict()
+    # Per-crash progress folded by site class, and the span file exists.
+    agg = tele.aggregator
+    assert agg.site_classes
+    assert sum(c["done"] for c in agg.site_classes.values()) == (
+        parallel_matrix.injected
+    )
+    doc = json.loads(span.read_text())
+    assert all(e["cat"] == "crash" for e in doc["traceEvents"] if e["ph"] == "X")

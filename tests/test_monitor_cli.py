@@ -56,6 +56,47 @@ def test_tailer_holds_back_partial_lines(tmp_path):
     assert prof.finalize().provenance.evict_flushes == 2
 
 
+def test_tailer_survives_rotation_and_truncation(tmp_path):
+    """Regression: a rotated or truncated file must not wedge the tail.
+
+    The tailer used to keep reading a stale handle at a stale offset
+    after the writer replaced (new inode) or truncated the file — every
+    subsequent poll returned 0 forever.  It now stats the *path* and
+    reopens from the top, dropping any held-back partial line (those
+    bytes belonged to the old file).
+    """
+    rec = TraceRecorder()
+    rec.record(EV_EVICT_FLUSH, 0, 10, 5, 1, 0)
+    rec.record(EV_EVICT_FLUSH, 1, 20, 9, 1, 0)
+    path = tmp_path / "rotating.jsonl"
+    path.write_text(rec.to_jsonl())
+
+    prof = StreamingProfile(1_000)
+    tailer = TraceTailer(str(path), prof)
+    assert tailer.poll() == 2
+    # Leave a partial line pending, then rotate: the buffer must reset.
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write('{"kind":"evict_fl')
+    assert tailer.poll() == 0
+
+    path.unlink()                       # mid-rotation: path briefly absent
+    assert tailer.poll() == 0           # no raise, just quiet
+
+    rec2 = TraceRecorder()
+    rec2.record(EV_EVICT_FLUSH, 0, 30, 7, 1, 0)
+    rec2.record(EV_EVICT_FLUSH, 0, 40, 8, 1, 0)
+    rec2.record(EV_EVICT_FLUSH, 0, 50, 9, 1, 0)
+    path.write_text(rec2.to_jsonl())    # new inode
+    assert tailer.poll() == 3           # reread from offset 0, buffer dropped
+
+    rec3 = TraceRecorder()
+    rec3.record(EV_EVICT_FLUSH, 0, 60, 4, 1, 0)
+    path.write_text(rec3.to_jsonl())    # same path, now *shorter*: truncation
+    assert tailer.poll() == 1
+    tailer.close()
+    assert tailer.events == 6
+
+
 def test_tailer_rejects_garbage(tmp_path):
     path = tmp_path / "bad.jsonl"
     path.write_text('{"kind":"martian","tid":0,"ts":1}\n')
@@ -79,6 +120,20 @@ def test_build_rules_overrides_defaults_by_name():
     assert "stall_share_slo" in rules               # other defaults intact
     extra = {r.name for r in build_rules(["mine: events > 1 @info"])}
     assert "mine" in extra
+
+
+def test_build_rules_base_swaps_the_stock_set():
+    from repro.obs.fleet import fleet_rules
+
+    rules = {
+        r.name: r
+        for r in build_rules(
+            ["dead_worker: dead_workers > 5"], base=fleet_rules()
+        )
+    }
+    assert rules["dead_worker"].value == 5.0        # override still by name
+    assert "straggler_ratio" in rules               # fleet defaults intact
+    assert "stall_share_slo" not in rules           # single-run set swapped out
 
 
 # ---------------------------------------------------------------------------
@@ -182,6 +237,82 @@ def test_monitor_grid_renders_dashboard(capsys):
     assert "repro live monitor" in out
     assert "alerts:" in out
     assert summary["cells_done"] == summary["cells_total"]
+
+
+# ---------------------------------------------------------------------------
+# CLI: fleet mode
+# ---------------------------------------------------------------------------
+
+
+def test_cli_monitor_fleet_grid_once_then_follow(tmp_path, capsys):
+    json_out = tmp_path / "fleet.json"
+    span = tmp_path / "spans.json"
+    flog = tmp_path / "fleet.jsonl"
+    log = tmp_path / "alerts.jsonl"
+    rc = main(
+        [
+            "monitor", "--fleet", "--grid", "adaptation",
+            "--scale", "0.02", "--seed", "7", "--jobs", "2", "--once",
+            "--json", str(json_out), "--span-export", str(span),
+            "--fleet-log", str(flog), "--alert-log", str(log),
+        ]
+    )
+    assert rc == 0                          # no dead workers on the seed grid
+    doc = json.loads(json_out.read_text())
+    assert doc["mode"] == "fleet-grid"
+    snap = doc["fleet"]
+    assert snap["tasks_done"] == snap["tasks_total"] > 0
+    assert snap["dead_workers"] == 0 and snap["errors"] == 0
+    assert len(doc["workers"]) == 2
+    assert all(w["status"] == "done" for w in doc["workers"])
+    # The span export is valid Perfetto trace_event JSON for this pool.
+    spans = json.loads(span.read_text())
+    assert spans["otherData"]["jobs"] == 2
+    assert spans["otherData"]["tasks"] == snap["tasks_total"]
+    assert any(e["ph"] == "X" for e in spans["traceEvents"])
+
+    # The spill replays to the same fleet state in another process.
+    out2 = tmp_path / "follow.json"
+    rc2 = main(
+        [
+            "monitor", "--fleet", "--follow", str(flog), "--once",
+            "--json", str(out2),
+        ]
+    )
+    assert rc2 == 0
+    followed = json.loads(out2.read_text())
+    assert followed["mode"] == "fleet-follow"
+    assert followed["events"] > 0
+    assert followed["fleet"]["tasks_done"] == snap["tasks_done"]
+    assert followed["workers"] == doc["workers"]
+
+
+def test_cli_monitor_fleet_campaign_once(tmp_path, capsys):
+    json_out = tmp_path / "campaign.json"
+    rc = main(
+        [
+            "monitor", "--fleet", "--campaign",
+            "--workloads", "linked-list", "--techniques", "SC",
+            "--scale", "0.01", "--max-sites", "20",
+            "--jobs", "2", "--once", "--json", str(json_out),
+        ]
+    )
+    assert rc == 0
+    doc = json.loads(json_out.read_text())
+    assert doc["mode"] == "fleet-campaign"
+    assert doc["workload"] == "linked-list" and doc["technique"] == "SC"
+    assert doc["matrix_ok"] is True
+    assert doc["injected"] > 0
+    # Per-crash progress events folded into the site-class table.
+    assert sum(c["done"] for c in doc["site_classes"].values()) == doc["injected"]
+
+
+def test_cli_monitor_fleet_rejects_single_job(tmp_path, capsys):
+    rc = main(
+        ["monitor", "--fleet", "--grid", "table1", "--jobs", "1", "--once"]
+    )
+    assert rc == 2
+    assert "--jobs >= 2" in capsys.readouterr().err
 
 
 # ---------------------------------------------------------------------------

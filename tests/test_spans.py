@@ -1,0 +1,163 @@
+"""Scheduler span model: plan validation, virtual replay, Perfetto export."""
+
+import json
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.obs.spans import (
+    SchedulePlan,
+    replay_schedule,
+    schedule_to_chrome,
+    write_schedule_spans,
+)
+
+
+def _plan():
+    """Two summaries, one blocked group each, one free group."""
+    plan = SchedulePlan()
+    plan.add("summary:a", "summary", "summary:a")
+    plan.add("summary:b", "summary", "summary:b")
+    plan.add("cells:a", "cells", "a/t1×3", release_after="summary:a")
+    plan.add("cells:b", "cells", "b/t1×2", release_after="summary:b")
+    plan.add("cells:free", "cells", "free/t1×1")
+    plan.set_cost("summary:a", 4)
+    plan.set_cost("summary:b", 2)
+    plan.set_cost("cells:a", 10)
+    plan.set_cost("cells:b", 6)
+    plan.set_cost("cells:free", 3)
+    return plan
+
+
+# ---------------------------------------------------------------------------
+# plan validation
+# ---------------------------------------------------------------------------
+
+
+def test_plan_rejects_duplicates_and_unknown_releasers():
+    plan = SchedulePlan()
+    plan.add("a", "cells", "a")
+    with pytest.raises(ConfigurationError):
+        plan.add("a", "cells", "again")
+    with pytest.raises(ConfigurationError):
+        plan.add("b", "cells", "b", release_after="nope")
+    with pytest.raises(ConfigurationError):
+        plan.set_cost("nope", 3)
+
+
+def test_plan_cost_clamps_to_one():
+    plan = SchedulePlan()
+    plan.add("a", "cells", "a")
+    plan.set_cost("a", 0)
+    assert plan.tasks["a"].cost == 1
+    plan.set_cost("a", -7)
+    assert plan.tasks["a"].cost == 1
+    assert len(plan) == 1
+
+
+def test_replay_rejects_bad_jobs():
+    with pytest.raises(ConfigurationError):
+        replay_schedule(SchedulePlan(), 0)
+
+
+# ---------------------------------------------------------------------------
+# virtual replay
+# ---------------------------------------------------------------------------
+
+
+def test_replay_single_worker_is_submission_order():
+    plan = _plan()
+    spans, releases = replay_schedule(plan, 1)
+    # One worker: FIFO by order, blocked tasks are always ready by the
+    # time the queue reaches them (their releaser ran earlier).
+    assert [s.task.uid for s in spans] == [
+        "summary:a", "summary:b", "cells:a", "cells:b", "cells:free"
+    ]
+    # Back-to-back, no idle gaps.
+    for prev, nxt in zip(spans, spans[1:]):
+        assert nxt.start == prev.end
+    assert spans[-1].end == 4 + 2 + 10 + 6 + 3
+
+
+def test_replay_respects_release_edges():
+    spans, releases = replay_schedule(_plan(), 2)
+    by_uid = {s.task.uid: s for s in spans}
+    # A blocked group never starts before its summary finishes.
+    assert by_uid["cells:a"].start >= by_uid["summary:a"].end
+    assert by_uid["cells:b"].start >= by_uid["summary:b"].end
+    # Releases are reported at the releaser's finish time, sorted.
+    times = {t.uid: ts for ts, t in releases}
+    assert times["cells:a"] == by_uid["summary:a"].end
+    assert times["cells:b"] == by_uid["summary:b"].end
+    assert [ts for ts, _ in releases] == sorted(ts for ts, _ in releases)
+    # Every task got scheduled exactly once on a valid worker.
+    assert len(spans) == len(by_uid) == 5
+    assert {s.worker for s in spans} <= {0, 1}
+
+
+def test_replay_is_deterministic():
+    a = replay_schedule(_plan(), 3)
+    b = replay_schedule(_plan(), 3)
+    assert a == b
+
+
+def test_replay_workers_never_overlap():
+    spans, _ = replay_schedule(_plan(), 2)
+    per_worker = {}
+    for s in spans:
+        per_worker.setdefault(s.worker, []).append((s.start, s.end))
+    for intervals in per_worker.values():
+        intervals.sort()
+        for (s1, e1), (s2, _e2) in zip(intervals, intervals[1:]):
+            assert s2 >= e1
+
+
+# ---------------------------------------------------------------------------
+# chrome export
+# ---------------------------------------------------------------------------
+
+
+def test_chrome_export_shape():
+    doc = schedule_to_chrome(_plan(), 2)
+    events = doc["traceEvents"]
+    metas = [e for e in events if e["ph"] == "M"]
+    spans = [e for e in events if e["ph"] == "X"]
+    instants = [e for e in events if e["ph"] == "i"]
+    counters = [e for e in events if e["ph"] == "C"]
+    # One named track per worker plus the scheduler track.
+    assert {m["args"]["name"] for m in metas} == {"worker 0", "worker 1", "scheduler"}
+    assert len(spans) == 5
+    assert all(e["pid"] == 0 for e in events)
+    # Release instants live on the scheduler track (tid == jobs).
+    assert len(instants) == 2
+    assert all(e["tid"] == 2 and e["cat"] == "release" for e in instants)
+    assert counters and all(e["name"] == "queued_tasks" for e in counters)
+    blocked = [e for e in spans if "released_by" in e["args"]]
+    assert {e["args"]["released_by"] for e in blocked} == {
+        "summary:a", "summary:b"
+    }
+    other = doc["otherData"]
+    assert other["jobs"] == 2
+    assert other["tasks"] == 5
+    assert other["makespan"] == max(e["ts"] + e["dur"] for e in spans)
+    assert other["straggler_tail"] >= 0
+    assert len(other["worker_busy"]) == 2
+
+
+def test_chrome_export_byte_deterministic(tmp_path):
+    p1, p2 = tmp_path / "a.json", tmp_path / "b.json"
+    write_schedule_spans(_plan(), 2, str(p1))
+    write_schedule_spans(_plan(), 2, str(p2))
+    assert p1.read_bytes() == p2.read_bytes()
+    doc = json.loads(p1.read_text())  # valid trace_event JSON
+    assert doc["traceEvents"]
+
+
+def test_run_id_is_the_only_varying_field(tmp_path):
+    p1, p2 = tmp_path / "a.json", tmp_path / "b.json"
+    write_schedule_spans(_plan(), 2, str(p1), run_id="run-1")
+    write_schedule_spans(_plan(), 2, str(p2), run_id="run-2")
+    d1, d2 = json.loads(p1.read_text()), json.loads(p2.read_text())
+    assert d1["otherData"].pop("run_id") == "run-1"
+    assert d2["otherData"].pop("run_id") == "run-2"
+    assert d1 == d2
