@@ -22,6 +22,12 @@ pytest-benchmark documents the cost of regenerating it.
 from __future__ import annotations
 
 import os
+import tempfile
+
+# Hermetic runs: benchmark sweeps hit the recording entry points too —
+# always keep their ledger out of the working tree (and out of any
+# ledger the invoking environment selected).
+os.environ["REPRO_LEDGER"] = tempfile.mkdtemp(prefix="repro-bench-ledger-")
 
 import pytest
 

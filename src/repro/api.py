@@ -25,8 +25,9 @@ stack at ``import repro`` time.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional, Tuple, Union
+import time
+from dataclasses import asdict, dataclass
+from typing import Dict, Optional, Tuple, Union
 
 from repro.cache.spec import TechniqueSpec, list_techniques
 from repro.common.errors import ConfigurationError
@@ -107,6 +108,15 @@ class RunSpec:
         """The machine configuration this spec induces."""
         return self.harness_config().machine_config()
 
+    def ledger_dict(self) -> Dict[str, object]:
+        """The canonical JSON form recorded in the run ledger.
+
+        Pure function of the spec (``technique`` is already the
+        canonical spec string), so identical specs fingerprint
+        identically across processes and sessions (DESIGN.md §16).
+        """
+        return asdict(self)
+
 
 def harness_for(spec: RunSpec, cache_dir: Optional[str] = None) -> Harness:
     """A harness configured exactly as ``spec`` requires."""
@@ -144,7 +154,17 @@ def run(
             f"expected one of {WORKLOAD_NAMES}"
         )
     harness = _resolve_harness(spec, harness, cache_dir)
-    return harness.run(spec.workload, spec.technique, spec.threads)
+    started = time.monotonic()
+    result = harness.run(spec.workload, spec.technique, spec.threads)
+    from repro.obs.ledger import counters_from_result, record_run
+
+    record_run(
+        "run",
+        spec.ledger_dict(),
+        counters_from_result(result),
+        wall_s=time.monotonic() - started,
+    )
+    return result
 
 
 def traced_run(
@@ -153,23 +173,38 @@ def traced_run(
     metrics_interval: Optional[int] = None,
     harness: Optional[Harness] = None,
     cache_dir: Optional[str] = None,
+    ledger_artifacts: Optional[Dict[str, str]] = None,
 ) -> Tuple[RunResult, object, object]:
     """Execute one spec with the observability layer attached.
 
     Returns ``(result, recorder, metrics)`` as
     :func:`repro.obs.runner.traced_run` does; the run is bit-identical
-    to :func:`run` for the same spec.
+    to :func:`run` for the same spec.  ``ledger_artifacts`` maps
+    artifact names to the paths the caller is about to write (trace,
+    metrics, report), so the ledger record links to them.
     """
     from repro.obs.runner import traced_run as _traced
 
     harness = _resolve_harness(spec, harness, cache_dir)
-    return _traced(
+    started = time.monotonic()
+    result, recorder, metrics = _traced(
         harness,
         spec.workload,
         spec.technique,
         threads=spec.threads,
         metrics_interval=metrics_interval,
     )
+    from repro.obs.ledger import counters_from_result, record_run
+
+    record_run(
+        "traced_run",
+        spec.ledger_dict(),
+        counters_from_result(result),
+        wall_s=time.monotonic() - started,
+        extra={"trace_events": len(recorder)},
+        artifacts=ledger_artifacts,
+    )
+    return result, recorder, metrics
 
 
 def campaign(

@@ -56,6 +56,19 @@ window by window.  ``--once --json`` is the headless/CI form::
     python -m repro.experiments monitor --grid table1 --scale 0.05 --jobs 2 \\
         --once --json --alert-log alerts.jsonl
     python -m repro.experiments monitor --follow run.jsonl --once
+
+The ``history`` pseudo-artifact queries the run ledger — the append-only
+provenance store every entry point records into (DESIGN.md §16) —
+longitudinally: per-spec ``trend`` timelines with EWMA fits and
+changepoints, a ``regress`` gate against the fitted trend (non-zero exit
+on a flagged timeline, the CI hook), last-two ``compare`` deltas, and
+``flaky`` campaign tracking.  ``--import BENCH_*.json`` seeds the bench
+timeline from committed files::
+
+    python -m repro.experiments history --query regress --metric time \\
+        --kind run --threshold 15
+    python -m repro.experiments history --query trend --kind bench \\
+        --metric batched_eps_geomean --json trend.json --html trend.html
 """
 
 from __future__ import annotations
@@ -81,6 +94,11 @@ def _run_traced(harness: Harness, args: argparse.Namespace) -> int:
     """The ``run`` pseudo-artifact: one cell with tracing/metrics on."""
     from repro import api
 
+    ledger_artifacts = {}
+    for path in args.trace or []:
+        ledger_artifacts.setdefault("trace", path)
+    if args.metrics:
+        ledger_artifacts["metrics"] = args.metrics
     result, recorder, metrics = api.traced_run(
         api.RunSpec(
             workload=args.workload,
@@ -91,6 +109,7 @@ def _run_traced(harness: Harness, args: argparse.Namespace) -> int:
         ),
         harness=harness,
         metrics_interval=args.metrics_interval if args.metrics else None,
+        ledger_artifacts=ledger_artifacts or None,
     )
     print(repr(result))
     counts = recorder.counts()
@@ -168,6 +187,25 @@ def _run_profile(args: argparse.Namespace) -> int:
             ),
         )
         print(f"wrote {args.html}", file=sys.stderr)
+
+    # Register the analysis in the run ledger, keyed by the trace it
+    # read: `history regress` joins a flagged run to this record through
+    # the shared trace path, pointing straight at the profile reports.
+    from repro.obs.analyze import max_severity
+    from repro.obs.ledger import record_run
+
+    artifacts = {"trace": path}
+    if args.json_out and args.json_out != "-":
+        artifacts["profile_json"] = args.json_out
+    if args.html:
+        artifacts["profile_html"] = args.html
+    record_run(
+        "profile",
+        {"artifact": "profile", "trace": path, "top_k": args.top_k},
+        {"diagnoses": len(profile.diagnoses)},
+        profile={"max_severity": max_severity(profile.diagnoses)},
+        artifacts=artifacts,
+    )
     return _severity_gate(profile.diagnoses, args.fail_on)
 
 
@@ -279,6 +317,35 @@ def _run_crashmatrix(args: argparse.Namespace) -> int:
 
     violated = sum(len(m.violations) for m in matrices)
     total = sum(m.injected for m in matrices)
+
+    # One ledger record for the whole invocation, linking the files it
+    # wrote (the per-campaign records land via run_campaign): the
+    # artifact-level summary `history` joins regressions against.
+    from repro.obs.ledger import record_run
+
+    artifacts = {}
+    if args.out:
+        artifacts["matrix"] = args.out
+    for path in args.trace or []:
+        artifacts.setdefault("trace", path)
+    if args.metrics:
+        artifacts["metrics"] = args.metrics
+    record_run(
+        "crashmatrix",
+        {
+            "artifact": "crashmatrix",
+            "workloads": workloads,
+            "techniques": [str(TechniqueSpec.parse(t)) for t in techniques],
+            "fault_models": list(models),
+            "max_sites": args.max_sites,
+            "sample_seed": args.sample_seed,
+            "threads": args.threads,
+            "scale": args.scale,
+            "seed": args.seed,
+        },
+        {"injected": total, "violated": violated, "ok": not violated},
+        artifacts=artifacts,
+    )
     if violated:
         print(
             f"FAILED: {violated} violation(s) across {total} injected crashes",
@@ -287,6 +354,99 @@ def _run_crashmatrix(args: argparse.Namespace) -> int:
         return 1
     print(f"OK: {total} injected crashes, zero violations", file=sys.stderr)
     return 0
+
+
+def _run_history(args: argparse.Namespace) -> int:
+    """The ``history`` pseudo-artifact: longitudinal ledger queries.
+
+    Exit codes follow ``bench_compare``: 0 clean, 1 when the query
+    flagged something (a regression finding, a changepoint, a drifted
+    compare, a flaky campaign), 2 when there is nothing to query.
+    """
+    import json
+
+    from repro.obs import history as hist
+    from repro.obs import report as obs_report
+    from repro.obs.ledger import RunLedger, default_ledger_path
+
+    root = args.ledger or default_ledger_path()
+    if root is None:
+        print(
+            "history: recording is disabled (REPRO_LEDGER=off); "
+            "pass --ledger DIR",
+            file=sys.stderr,
+        )
+        return 2
+    ledger = RunLedger(root)
+    for path in args.import_bench or []:
+        try:
+            record = hist.import_bench_doc(ledger, path)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"history: cannot import {path}: {exc}", file=sys.stderr)
+            return 2
+        print(
+            f"imported {path} as bench record {record.run_id}",
+            file=sys.stderr,
+        )
+
+    if args.query == "trend":
+        lines = hist.trend(
+            ledger,
+            args.metric,
+            kind=args.kind,
+            spec_filter=args.spec,
+            limit=args.limit,
+            min_shift_pct=args.threshold,
+        )
+        doc = {
+            "query": "trend",
+            "metric": args.metric,
+            "lines": [line.to_dict() for line in lines],
+            "ok": not any(line.changepoint for line in lines),
+        }
+    elif args.query == "regress":
+        doc = hist.regress(
+            ledger,
+            args.metric,
+            kind=args.kind,
+            spec_filter=args.spec,
+            threshold_pct=args.threshold,
+            direction=args.direction,
+            limit=args.limit,
+        )
+        doc["query"] = "regress"
+    elif args.query == "compare":
+        doc = hist.compare(ledger, kind=args.kind, spec_filter=args.spec)
+        doc["query"] = "compare"
+    else:
+        doc = hist.flaky(
+            ledger, kind=args.kind or "campaign", spec_filter=args.spec
+        )
+        doc["query"] = "flaky"
+    if ledger.skipped_lines:
+        doc["skipped_lines"] = ledger.skipped_lines
+
+    report_stream = sys.stderr if args.json_out == "-" else sys.stdout
+    print(obs_report.render_history_text(doc), file=report_stream, end="")
+    title = f"Run history: {args.query}"
+    if args.json_out:
+        body = json.dumps(doc, sort_keys=True, indent=1) + "\n"
+        if args.json_out == "-":
+            sys.stdout.write(body)
+        else:
+            obs_report.write_text(args.json_out, body)
+            print(f"wrote {args.json_out}", file=sys.stderr)
+    if args.md:
+        obs_report.write_text(
+            args.md, obs_report.render_history_markdown(doc, title=title)
+        )
+        print(f"wrote {args.md}", file=sys.stderr)
+    if args.html:
+        obs_report.write_text(
+            args.html, obs_report.render_history_html(doc, title=title)
+        )
+        print(f"wrote {args.html}", file=sys.stderr)
+    return 0 if doc.get("ok", True) else 1
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -298,11 +458,20 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "artifact",
         choices=sorted(GENERATORS)
-        + ["all", "crashmatrix", "monitor", "profile", "run", "tracediff"],
+        + [
+            "all",
+            "crashmatrix",
+            "history",
+            "monitor",
+            "profile",
+            "run",
+            "tracediff",
+        ],
         help="which table/figure to regenerate, 'run' for one traced "
         "cell, 'crashmatrix' for fault-injection campaigns, 'profile' "
-        "to analyze a recorded trace, 'tracediff' to compare two, or "
-        "'monitor' to watch a grid or trace live",
+        "to analyze a recorded trace, 'tracediff' to compare two, "
+        "'monitor' to watch a grid or trace live, or 'history' to "
+        "query the run ledger's longitudinal record",
     )
     parser.add_argument(
         "--scale",
@@ -452,6 +621,76 @@ def main(argv: Optional[List[str]] = None) -> int:
         metavar="PATH",
         help="write the crash matrix (or list of matrices) as JSON",
     )
+    ledger = parser.add_argument_group("'history' (run-ledger queries)")
+    ledger.add_argument(
+        "--query",
+        choices=["trend", "compare", "regress", "flaky"],
+        default="trend",
+        help="which longitudinal question to answer (default trend)",
+    )
+    ledger.add_argument(
+        "--ledger",
+        default=None,
+        metavar="DIR",
+        help="ledger root (default: $REPRO_LEDGER, else .ledger)",
+    )
+    ledger.add_argument(
+        "--metric",
+        default="time",
+        metavar="NAME",
+        help="dotted metric path for trend/regress; bare names resolve "
+        "under counters first (default time)",
+    )
+    ledger.add_argument(
+        "--kind",
+        default=None,
+        metavar="KIND",
+        help="restrict to one record kind (run, traced_run, grid, "
+        "campaign, bench, ...)",
+    )
+    ledger.add_argument(
+        "--spec",
+        default=None,
+        metavar="FILTER",
+        help="restrict to timelines matching a spec-sha prefix, label "
+        "substring, or spec-JSON substring",
+    )
+    ledger.add_argument(
+        "--threshold",
+        type=float,
+        default=10.0,
+        metavar="PCT",
+        help="regress/trend: deviation (changepoint shift) percent that "
+        "flags a timeline (default 10)",
+    )
+    ledger.add_argument(
+        "--direction",
+        choices=["auto", "up", "down"],
+        default="auto",
+        help="regress: which way the metric regresses (default auto: "
+        "inferred from the metric name)",
+    )
+    ledger.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        metavar="N",
+        help="use only the newest N records of each timeline",
+    )
+    ledger.add_argument(
+        "--import",
+        dest="import_bench",
+        action="append",
+        metavar="PATH",
+        help="first wrap an existing BENCH_*.json as a bench ledger "
+        "record (seeds history from committed files); repeatable",
+    )
+    ledger.add_argument(
+        "--md",
+        default=None,
+        metavar="PATH",
+        help="write the query result as a markdown report",
+    )
     mon = parser.add_argument_group("'monitor' (live telemetry)")
     mon.add_argument(
         "--grid",
@@ -571,6 +810,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                 cache_dir=args.cache_dir,
             ),
         )
+    if args.artifact == "history":
+        return _run_history(args)
     if args.artifact == "profile":
         return _run_profile(args)
     if args.artifact == "tracediff":

@@ -53,6 +53,11 @@ of committed files is a perf trajectory across PRs.  Three benches:
     with events, resource sampling, JSONL spill and span export all
     attached — the ratio the <= 1.10x acceptance ceiling pins.
 
+``ledger``
+    Per-run price of the provenance ledger (:mod:`repro.obs.ledger`):
+    one pinned ``api.run`` timed with recording off and on — the ratio
+    the < 1.05x acceptance ceiling pins — plus raw append throughput.
+
 Usage::
 
     PYTHONPATH=src python -m repro.experiments.bench            # full
@@ -593,6 +598,66 @@ def bench_sharded(scale: float, jobs: int) -> Dict:
     }
 
 
+#: Ledger bench: one pinned run timed with provenance recording off and
+#: on.  ER on ``queue`` — cheap enough that the fixed per-run append
+#: cost would show if it ever grew, which is the point.
+LEDGER_SCALE = 0.1
+LEDGER_WORKLOAD = "queue"
+LEDGER_TECHNIQUE = "ER"
+LEDGER_APPENDS = 200
+
+
+def bench_ledger(scale: float, reps: int) -> Dict:
+    """Per-run price of the provenance ledger, plus raw append throughput.
+
+    The same pinned ``api.run`` is timed with ``REPRO_LEDGER=off`` and
+    with recording into a throwaway ledger; ``ledger_overhead`` is the
+    ratio ``bench_compare`` gates (< 1.05x — provenance must stay in the
+    noise).  ``appends_per_sec`` prices the append path alone
+    (record build + O_APPEND write + index rewrite), informational.
+    """
+    import tempfile
+
+    from repro import api
+    from repro.obs.ledger import LEDGER_ENV, RunLedger, RunRecord
+
+    spec = api.RunSpec(
+        workload=LEDGER_WORKLOAD,
+        technique=LEDGER_TECHNIQUE,
+        scale=scale,
+        seed=BENCH_SEED,
+    )
+    saved = os.environ.get(LEDGER_ENV)
+    with tempfile.TemporaryDirectory(prefix="bench-ledger-") as tmp:
+        try:
+            os.environ[LEDGER_ENV] = "off"
+            off_s = _best_of(reps, lambda: api.run(spec))
+            os.environ[LEDGER_ENV] = os.path.join(tmp, "runs")
+            on_s = _best_of(reps, lambda: api.run(spec))
+        finally:
+            if saved is None:
+                os.environ.pop(LEDGER_ENV, None)
+            else:
+                os.environ[LEDGER_ENV] = saved
+        ledger = RunLedger(os.path.join(tmp, "appends"))
+        start = time.process_time()
+        for i in range(LEDGER_APPENDS):
+            ledger.append(
+                RunRecord(kind="bench-append", spec={"i": i}, counters={})
+            )
+        append_s = time.process_time() - start
+    return {
+        "workload": LEDGER_WORKLOAD,
+        "technique": LEDGER_TECHNIQUE,
+        "off_s": round(off_s, 4),
+        "on_s": round(on_s, 4),
+        "ledger_overhead": round(on_s / off_s, 3),
+        "appends": LEDGER_APPENDS,
+        "append_s": round(append_s, 4),
+        "appends_per_sec": round(LEDGER_APPENDS / append_s),
+    }
+
+
 # ---------------------------------------------------------------------------
 
 
@@ -610,6 +675,7 @@ def run_suite(
     zoo_scale = 0.05 if quick else POLICY_ZOO_SCALE
     sharded_scale = 0.1 if quick else SHARDED_SCALE
     fleet_scale = 0.05 if quick else FLEET_SCALE
+    ledger_scale = 0.05 if quick else LEDGER_SCALE
     return {
         "suite_version": SUITE_VERSION,
         "schema_version": BENCH_SCHEMA_VERSION,
@@ -634,6 +700,7 @@ def run_suite(
         "harness": bench_harness(harness_scale, jobs),
         "sharded": bench_sharded(sharded_scale, jobs),
         "fleet_overhead": bench_fleet_overhead(fleet_scale, jobs, reps),
+        "ledger": bench_ledger(ledger_scale, reps),
     }
 
 
@@ -659,6 +726,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         metavar="PATH",
         help="output path (default BENCH_<date>.json; '-' for stdout only)",
     )
+    parser.add_argument(
+        "--force",
+        action="store_true",
+        help="overwrite an existing --out file instead of refusing",
+    )
     args = parser.parse_args(argv)
 
     doc = run_suite(quick=args.quick, reps=args.reps, jobs=args.jobs)
@@ -667,10 +739,44 @@ def main(argv: Optional[List[str]] = None) -> int:
     out = args.out
     if out != "-":
         if out is None:
+            # Committed baselines are a trajectory — never silently
+            # clobber a same-day point (it has happened): suffix -2, -3…
             out = f"BENCH_{doc['date']}.json"
+            serial = 1
+            while os.path.exists(out):
+                serial += 1
+                out = f"BENCH_{doc['date']}-{serial}.json"
+            if serial > 1:
+                print(
+                    f"note: BENCH_{doc['date']}.json exists; "
+                    f"writing {out} instead",
+                    file=sys.stderr,
+                )
+        elif os.path.exists(out) and not args.force:
+            print(
+                f"error: {out} exists; pass --force to overwrite "
+                f"an existing baseline",
+                file=sys.stderr,
+            )
+            return 2
         with open(out, "w", encoding="utf-8") as fh:
             fh.write(body + "\n")
         print(f"wrote {out}", file=sys.stderr)
+
+    # The suite is a run like any other: one ledger record per
+    # invocation, carrying the whole document, so `history` can fit
+    # trends over bench sections and `bench_compare --ledger` can gate
+    # against them.
+    from repro.obs.history import bench_counters, bench_spec
+    from repro.obs.ledger import record_run
+
+    record_run(
+        "bench",
+        bench_spec(doc),
+        bench_counters(doc),
+        extra={"bench": doc},
+        artifacts={"bench": out} if out != "-" else None,
+    )
     return 0
 
 

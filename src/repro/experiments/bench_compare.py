@@ -34,6 +34,13 @@ Usage::
 
     python tools/bench_compare.py BENCH_2026-08-06.json BENCH_new.json
     python tools/bench_compare.py base.json new.json --max-regress 3
+    python tools/bench_compare.py --ledger .ledger BENCH_new.json
+
+``--ledger`` replaces the single base file with the EWMA-fitted trend
+over every bench record in the run ledger (:mod:`repro.obs.ledger`) —
+the multi-baseline mode: one noisy committed point cannot skew the
+gate the way a hand-picked pair can.  Seed history from committed
+files with ``python -m repro.experiments history --import BENCH_*.json``.
 """
 
 from __future__ import annotations
@@ -66,6 +73,10 @@ STREAMING_OVERHEAD_CEILING = 1.5
 #: fewer schedulable cores than workers — the pump then contends with
 #: the serialized workers for the same CPU, a host artifact.
 FLEET_OVERHEAD_CEILING = 1.10
+#: Provenance-ledger recording on one pinned run must stay within this
+#: multiple of the same run with ``REPRO_LEDGER=off`` — automatic
+#: provenance only stays on by default while it stays in the noise.
+LEDGER_OVERHEAD_CEILING = 1.05
 
 #: Exit codes: 0 ok, 1 regression beyond threshold, 2 incomparable docs.
 EXIT_OK = 0
@@ -270,6 +281,20 @@ def compare(
             "fleet telemetry overhead not gated"
         )
 
+    ledger_overhead: Optional[float] = None
+    ledger_gate: Optional[str] = None
+    ledger_bench = new.get("ledger") or {}
+    if "ledger_overhead" in ledger_bench:
+        ledger_overhead = float(ledger_bench["ledger_overhead"])
+        ledger_gate = (
+            "pass" if ledger_overhead < LEDGER_OVERHEAD_CEILING else "fail"
+        )
+    else:
+        notes.append(
+            "no ledger bench in new (older document); "
+            "ledger recording overhead not gated"
+        )
+
     ok = (
         regress_pct <= max_regress
         and (analyzer_regress_pct is None or analyzer_regress_pct <= max_regress)
@@ -281,6 +306,7 @@ def compare(
         and parallel_gate != "fail"
         and streaming_gate != "fail"
         and fleet_gate != "fail"
+        and ledger_gate != "fail"
     )
     return {
         "schema_version": base_schema,
@@ -300,11 +326,106 @@ def compare(
         "streaming_gate": streaming_gate,
         "fleet_overhead": fleet_overhead,
         "fleet_gate": fleet_gate,
+        "ledger_overhead": ledger_overhead,
+        "ledger_gate": ledger_gate,
         "regress_pct": regress_pct,
         "max_regress": max_regress,
         "ok": ok,
         "notes": notes,
     }
+
+
+def fitted_base(ledger_dir: str, new: Dict) -> Dict:
+    """Synthesize a baseline document from the ledger's bench timeline.
+
+    The multi-baseline mode: instead of one hand-picked prior file, fit
+    an EWMA (:func:`repro.obs.history.ewma`) over *every* recorded bench
+    document of the new document's schema — per simulator case, per
+    policy-zoo spec, and over the single-number sections — and return a
+    document shaped like a BENCH file, so :func:`compare` gates the new
+    run against the fitted trend.  A record wrapping the new document
+    itself (``tools/bench.py`` records before the comparison runs) is
+    excluded so the candidate cannot drag its own baseline.  Raises
+    :class:`ConfigurationError` when the ledger holds no usable bench
+    history.
+    """
+    from repro.obs.history import ewma
+    from repro.obs.ledger import RunLedger
+
+    docs: List[Dict] = []
+    for record in RunLedger(ledger_dir).records(kind="bench"):
+        doc = record.extra.get("bench")
+        if not isinstance(doc, dict) or "simulator" not in doc:
+            continue
+        if schema_version(doc) != schema_version(new):
+            continue
+        if doc == new:
+            continue
+        docs.append(doc)
+    if not docs:
+        raise ConfigurationError(
+            f"ledger {ledger_dir!r} holds no bench records of schema "
+            f"{schema_version(new)}; record or import a baseline first "
+            f"(history --import BENCH_<date>.json)"
+        )
+
+    def fit(series: List) -> Optional[float]:
+        values = [
+            float(v)
+            for v in series
+            if isinstance(v, (int, float)) and not isinstance(v, bool) and v > 0
+        ]
+        return round(ewma(values)[-1], 3) if values else None
+
+    base: Dict = {
+        "schema_version": schema_version(new),
+        "quick": bool(docs[-1].get("quick")),
+        "date": f"fitted-from-{len(docs)}",
+        "fitted_from": len(docs),
+        "simulator": [],
+    }
+    cases: Dict = {}
+    for doc in docs:
+        for row in doc.get("simulator", []):
+            cases.setdefault((row["workload"], row["technique"]), []).append(row)
+    for (workload, technique), rows in cases.items():
+        batched = fit([r.get("batched_eps") for r in rows])
+        per_event = fit([r.get("per_event_eps") for r in rows])
+        if batched is None or per_event is None:
+            continue
+        base["simulator"].append(
+            {
+                "workload": workload,
+                "technique": technique,
+                "batched_eps": batched,
+                "per_event_eps": per_event,
+            }
+        )
+    reuse = fit(
+        [(d.get("reuse_counts") or {}).get("intervals_per_sec") for d in docs]
+    )
+    if reuse is not None:
+        base["reuse_counts"] = {"intervals_per_sec": reuse}
+    analyzer = fit([(d.get("analyzer") or {}).get("events_per_sec") for d in docs])
+    if analyzer is not None:
+        base["analyzer"] = {"events_per_sec": analyzer}
+    streaming = fit(
+        [(d.get("streaming_recorder") or {}).get("streaming_eps") for d in docs]
+    )
+    if streaming is not None:
+        base["streaming_recorder"] = {"streaming_eps": streaming}
+    zoo: Dict = {}
+    for doc in docs:
+        for row in doc.get("policy_zoo") or []:
+            zoo.setdefault(row["spec"], []).append(row.get("eps"))
+    zoo_rows = [
+        {"spec": spec, "eps": fitted}
+        for spec, series in zoo.items()
+        if (fitted := fit(series)) is not None
+    ]
+    if zoo_rows:
+        base["policy_zoo"] = zoo_rows
+    return base
 
 
 def format_report(verdict: Dict) -> str:
@@ -370,6 +491,12 @@ def format_report(verdict: Dict) -> str:
             f"(ceiling {FLEET_OVERHEAD_CEILING:.2f}x: "
             f"{verdict['fleet_gate']})"
         )
+    if verdict.get("ledger_overhead") is not None:
+        lines.append(
+            f"ledger_overhead    {verdict['ledger_overhead']:.3f}x "
+            f"(ceiling {LEDGER_OVERHEAD_CEILING:.2f}x: "
+            f"{verdict['ledger_gate']})"
+        )
     for note in verdict["notes"]:
         lines.append(f"note: {note}")
     lines.append("PASS" if verdict["ok"] else "FAIL: perf gate violated")
@@ -382,7 +509,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         description="Diff two BENCH_*.json files; fail on geomean "
         "batched-throughput regression beyond the threshold.",
     )
-    parser.add_argument("base", help="baseline BENCH_*.json (e.g. the committed one)")
+    parser.add_argument(
+        "base",
+        nargs="?",
+        default=None,
+        help="baseline BENCH_*.json (omit with --ledger)",
+    )
     parser.add_argument("new", help="candidate BENCH_*.json to vet")
     parser.add_argument(
         "--max-regress",
@@ -392,11 +524,33 @@ def main(argv: Optional[List[str]] = None) -> int:
         help=f"tolerated geomean regression in percent "
         f"(default {DEFAULT_MAX_REGRESS})",
     )
+    parser.add_argument(
+        "--ledger",
+        default=None,
+        metavar="DIR",
+        help="gate against the EWMA-fitted trend of this run ledger's "
+        "bench records instead of one baseline file",
+    )
     args = parser.parse_args(argv)
-    try:
-        verdict = compare(
-            load_bench(args.base), load_bench(args.new), args.max_regress
+    if (args.base is None) == (args.ledger is None):
+        print(
+            "bench-compare: give exactly one baseline — a base file, "
+            "or --ledger DIR",
+            file=sys.stderr,
         )
+        return EXIT_INCOMPARABLE
+    try:
+        new = load_bench(args.new)
+        if args.ledger is not None:
+            base = fitted_base(args.ledger, new)
+        else:
+            base = load_bench(args.base)
+        verdict = compare(base, new, args.max_regress)
+        if args.ledger is not None:
+            verdict["notes"].append(
+                f"baseline fitted (EWMA) from {base['fitted_from']} ledger "
+                f"bench record(s) in {args.ledger}"
+            )
     except (ConfigurationError, OSError, json.JSONDecodeError) as exc:
         print(f"bench-compare: {exc}", file=sys.stderr)
         return EXIT_INCOMPARABLE

@@ -25,6 +25,7 @@ difference from the sequential in-process path.
 from __future__ import annotations
 
 import dataclasses
+import time
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
@@ -158,6 +159,39 @@ def execute_cell(
         technique_factory(spec, **factory_kwargs),
         num_threads=threads,
         seed=config.seed,
+    )
+
+
+def record_grid(
+    harness: "Harness",
+    results: Dict[Cell, RunResult],
+    *,
+    jobs: int,
+    wall_s: float,
+) -> None:
+    """Append one ``grid`` ledger record for a completed batch.
+
+    The spec is the harness configuration plus the (sorted) cell list —
+    everything the grid's outcome depends on — so re-running the same
+    grid extends one timeline.  ``jobs`` is environment-flavoured
+    scheduling detail (it cannot change results) and goes under
+    ``extra``.  Shared by the sequential path and ``run_grid_parallel``;
+    best-effort like every ledger write.
+    """
+    if not results:
+        return
+    from repro.obs.ledger import grid_cells_payload, record_run
+
+    rows, totals = grid_cells_payload(results)
+    record_run(
+        "grid",
+        {
+            "config": dataclasses.asdict(harness.config),
+            "cells": [list(cell) for cell in sorted(results)],
+        },
+        totals,
+        wall_s=wall_s,
+        extra={"cells": rows, "jobs": jobs},
     )
 
 
@@ -349,11 +383,13 @@ class Harness:
         from repro.obs.live import resolve_grid_progress
 
         notify = resolve_grid_progress(progress)
+        started = time.monotonic()
         results: Dict[Cell, RunResult] = {}
         for cell in cells:
             results[cell] = self.run(*cell)
             if notify is not None:
                 notify(len(results), len(cells), cell, results[cell])
+        record_grid(self, results, jobs=1, wall_s=time.monotonic() - started)
         return results
 
     # ------------------------------------------------------------------

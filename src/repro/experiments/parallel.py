@@ -36,6 +36,7 @@ and the parent merging per-shard results at the final drain barrier.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.harness import (
@@ -43,6 +44,7 @@ from repro.experiments.harness import (
     Harness,
     HarnessConfig,
     ProfileSummary,
+    record_grid,
 )
 from repro.experiments.transport import (
     WorkerPool,
@@ -211,6 +213,7 @@ def run_grid_parallel(
     from repro.obs.live import resolve_grid_progress
 
     notify = resolve_grid_progress(progress)
+    started = time.monotonic()
     cells = list(dict.fromkeys(cells))
     results: Dict[Cell, RunResult] = {}
     pending: List[Cell] = []
@@ -223,6 +226,9 @@ def run_grid_parallel(
         else:
             pending.append(cell)
     if not pending:
+        record_grid(
+            harness, results, jobs=jobs, wall_s=time.monotonic() - started
+        )
         return results
 
     # Group cells sharing a (workload, threads) pair: the worker that
@@ -329,6 +335,7 @@ def run_grid_parallel(
                 ),
             )
         telemetry.export_spans(plan, jobs)
+    record_grid(harness, results, jobs=jobs, wall_s=time.monotonic() - started)
     return results
 
 

@@ -22,6 +22,8 @@ so they always recompute).
 
 from __future__ import annotations
 
+import dataclasses
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -304,35 +306,39 @@ def run_campaign(
     if threads > 1 and not workload.supports_threads(threads):
         threads = 1
 
+    started = time.monotonic()
+    config = _CampaignConfig(
+        workload=name if isinstance(name, str) else str(name),
+        scale=scale,
+        technique=technique,
+        threads=threads,
+        seed=seed,
+        timing=timing,
+        l1_capacity_lines=l1_capacity_lines,
+        l1_ways=l1_ways,
+        fault_models=tuple(spec.fault_models),
+        site_classes=spec.site_classes,
+        max_sites=spec.max_sites,
+        sample_seed=spec.sample_seed,
+        fault_seed=spec.fault_seed,
+        commit_before_drain=commit_before_drain,
+    )
     cache = None
     cache_key = None
     if cache_dir is not None and isinstance(name, str):
         cache = ResultCache(cache_dir)
-        cache_key = ResultCache.key(
-            _CampaignConfig(
-                workload=name,
-                scale=scale,
-                technique=technique,
-                threads=threads,
-                seed=seed,
-                timing=timing,
-                l1_capacity_lines=l1_capacity_lines,
-                l1_ways=l1_ways,
-                fault_models=tuple(spec.fault_models),
-                site_classes=spec.site_classes,
-                max_sites=spec.max_sites,
-                sample_seed=spec.sample_seed,
-                fault_seed=spec.fault_seed,
-                commit_before_drain=commit_before_drain,
-            ),
-            "crashmatrix",
-        )
+        cache_key = ResultCache.key(config, "crashmatrix")
         data = cache.get(cache_key)
         if data is not None:
             try:
-                return CrashMatrix.from_dict(data)
+                matrix = CrashMatrix.from_dict(data)
             except ConfigurationError:
                 pass  # stale schema: recompute and overwrite
+            else:
+                _record_campaign(
+                    config, matrix, time.monotonic() - started, cached=True
+                )
+                return matrix
 
     driver_kwargs = dict(
         technique=technique,
@@ -458,4 +464,42 @@ def run_campaign(
 
     if cache is not None and cache_key is not None:
         cache.put(cache_key, matrix.to_dict())
+    _record_campaign(config, matrix, time.monotonic() - started, cached=False)
     return matrix
+
+
+def _record_campaign(
+    config: _CampaignConfig,
+    matrix: CrashMatrix,
+    wall_s: float,
+    *,
+    cached: bool,
+) -> None:
+    """One ``campaign`` ledger record per :func:`run_campaign` call.
+
+    The spec is the campaign's cache-key fingerprint (everything the
+    verdicts depend on), so ``history flaky`` can detect a spec whose
+    recorded outcomes disagree across sessions.  A cache-served matrix
+    records too — it is still a run that happened — flagged in
+    ``extra`` so overhead analysis can tell replays from lookups.
+    """
+    from repro.obs.ledger import record_run
+
+    spec_dict = dataclasses.asdict(config)
+    spec_dict["fault_models"] = list(config.fault_models)
+    spec_dict["site_classes"] = (
+        list(config.site_classes) if config.site_classes is not None else None
+    )
+    record_run(
+        "campaign",
+        spec_dict,
+        {
+            "injected": int(matrix.injected),
+            "violated": len(matrix.violations),
+            "total_sites": int(matrix.total_sites),
+            "exhaustive": bool(matrix.exhaustive),
+            "ok": bool(matrix.ok),
+        },
+        wall_s=wall_s,
+        extra={"cached": cached},
+    )

@@ -24,6 +24,12 @@
 - :mod:`repro.obs.spans` — deterministic Perfetto timelines of the
   pool scheduler (virtual replay of the recorded
   :class:`~repro.obs.spans.SchedulePlan`).
+- :mod:`repro.obs.ledger` — the append-only run registry: every entry
+  point records a crash-safe JSONL provenance line (spec sha, env,
+  counters, artifacts) into ``.ledger/`` (DESIGN.md §16).
+- :mod:`repro.obs.history` — longitudinal queries over the ledger:
+  per-spec timelines, EWMA trend fitting, changepoint detection and
+  regression gating behind the ``history`` CLI artifact.
 
 Tracing is strictly opt-in: machines default to the shared
 :data:`~repro.obs.trace.NULL_RECORDER`, which keeps the batched
@@ -59,6 +65,22 @@ from repro.obs.fleet import (
     ResourceSampler,
     WorkerState,
     fleet_rules,
+)
+from repro.obs.history import (
+    RegressionFinding,
+    TrendLine,
+    detect_changepoint,
+    ewma,
+    import_bench_doc,
+)
+from repro.obs.ledger import (
+    LEDGER_ENV,
+    RunLedger,
+    RunRecord,
+    default_ledger_path,
+    record_run,
+    resolve_ledger,
+    spec_fingerprint,
 )
 from repro.obs.metrics import DEFAULT_INTERVAL, MetricsRegistry, nearest_rank
 from repro.obs.spans import (
@@ -96,6 +118,9 @@ _REPORT_EXPORTS = frozenset(
         "render_html",
         "render_diff_text",
         "render_diff_html",
+        "render_history_markdown",
+        "render_history_html",
+        "render_history_text",
         "write_text",
     }
 )
@@ -123,7 +148,12 @@ __all__ = [
     "FleetAggregator",
     "FleetEmitter",
     "FleetTelemetry",
+    "LEDGER_ENV",
     "MetricsRegistry",
+    "RegressionFinding",
+    "RunLedger",
+    "RunRecord",
+    "TrendLine",
     "ResourceSampler",
     "SchedulePlan",
     "ScheduledSpan",
@@ -138,11 +168,18 @@ __all__ = [
     "TraceRecorder",
     "WindowSnapshot",
     "analyze",
+    "default_ledger_path",
     "default_rules",
+    "detect_changepoint",
     "diff_profiles",
+    "ewma",
     "fleet_rules",
+    "import_bench_doc",
     "max_severity",
     "nearest_rank",
+    "record_run",
+    "resolve_ledger",
+    "spec_fingerprint",
     "parse_jsonl",
     "parse_rule",
     "read_jsonl",
@@ -153,6 +190,9 @@ __all__ = [
     "write_schedule_spans",
     "render_diff_html",
     "render_diff_text",
+    "render_history_html",
+    "render_history_markdown",
+    "render_history_text",
     "render_html",
     "render_markdown",
     "write_text",

@@ -122,6 +122,19 @@ class MetricsRegistry:
             raise ConfigurationError(f"no series named {name!r}")
         return self._series[name]
 
+    def ensure_series(self, name: str) -> Tuple[List[int], List[float]]:
+        """The series ``name``, created empty if it does not exist yet.
+
+        Registration hook for callers that want a series to show up in
+        :meth:`to_dict` (and be queryable by name) before the first
+        sample lands — e.g. a dashboard pre-declaring every panel.
+        """
+        series = self._series.get(name)
+        if series is None:
+            series = ([], [])
+            self._series[name] = series
+        return series
+
     def series_names(self) -> List[str]:
         """All series names, sorted."""
         return sorted(self._series)
@@ -130,10 +143,18 @@ class MetricsRegistry:
         """Nearest-rank percentile of one series' values.
 
         Same :func:`nearest_rank` semantics as the trace analyzer's FASE
-        latency percentiles; raises on an unknown series, returns 0 for
-        an empty one.
+        latency percentiles.  Raises :class:`ConfigurationError` on an
+        unknown series *and* on an empty one — a percentile of nothing
+        is a caller bug, not a 0 (0 is a legal sample value, so it can't
+        double as a sentinel).  A single-sample series returns that
+        sample for every ``q``.
         """
-        return nearest_rank(sorted(self.series(name)[1]), q)
+        values = self.series(name)[1]
+        if not values:
+            raise ConfigurationError(
+                f"series {name!r} is empty: percentile undefined"
+            )
+        return nearest_rank(sorted(values), q)
 
     def series_histogram(
         self, name: str, bins: int = 10
@@ -141,15 +162,21 @@ class MetricsRegistry:
         """Equal-width value histogram of one series.
 
         Returns ``[(lo, hi, count), ...]`` with ``bins`` contiguous
-        buckets spanning ``[min, max]``; a constant (or empty) series
-        collapses to one bucket.  Pure arithmetic on the recorded
-        values, so the result is as deterministic as the series.
+        buckets spanning ``[min, max]``; a constant (including
+        single-sample) series collapses to one ``(v, v, n)`` bucket.
+        An empty series raises :class:`ConfigurationError` — same
+        contract as :meth:`series_percentile`, so "no data yet" is
+        never mistaken for a real all-zero bucket.  Pure arithmetic on
+        the recorded values, so the result is as deterministic as the
+        series.
         """
         if bins < 1:
             raise ConfigurationError(f"histogram bins must be >= 1, got {bins}")
         values = self.series(name)[1]
         if not values:
-            return [(0.0, 0.0, 0)]
+            raise ConfigurationError(
+                f"series {name!r} is empty: histogram undefined"
+            )
         lo, hi = min(values), max(values)
         if lo == hi or bins == 1:
             return [(float(lo), float(hi), len(values))]

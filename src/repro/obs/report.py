@@ -405,6 +405,288 @@ def render_fleet_lines(aggregator) -> List[str]:
     return lines
 
 
+# ---------------------------------------------------------------------------
+# Run-history rendering (the ``history`` CLI artifact)
+# ---------------------------------------------------------------------------
+
+
+def _history_trend_rows(doc: Dict) -> List[List[object]]:
+    rows = []
+    for line in doc.get("lines", []):
+        values = line["values"]
+        cp = line.get("changepoint")
+        rows.append(
+            [
+                line["label"],
+                line["spec_sha"][:12],
+                len(values),
+                f"{values[0]:g}",
+                f"{values[-1]:g}",
+                f"{line['ewma'][-1]:g}",
+                (
+                    f"@{cp['index']} ({cp['shift_pct']:+.1f}%)"
+                    if cp
+                    else "-"
+                ),
+            ]
+        )
+    return rows
+
+
+def _history_regress_rows(doc: Dict) -> List[List[object]]:
+    return [
+        [
+            f["label"],
+            f["spec_sha"][:12],
+            f["points"],
+            f"{f['fitted']:g}",
+            f"{f['latest']:g}",
+            f"{f['deviation_pct']:+.1f}%",
+            f["direction"],
+        ]
+        for f in doc.get("findings", [])
+    ]
+
+
+_HISTORY_TREND_HEADERS = [
+    "timeline", "spec", "n", "first", "last", "ewma", "changepoint",
+]
+_HISTORY_REGRESS_HEADERS = [
+    "timeline", "spec", "n", "fitted", "latest", "deviation", "direction",
+]
+
+
+def render_history_markdown(doc: Dict, title: str = "Run history") -> str:
+    """One history query result as a markdown document.
+
+    ``doc`` is the JSON-shaped result of a :mod:`repro.obs.history`
+    query, tagged with ``doc["query"]`` by the CLI.  Unknown queries
+    degrade to their JSON — the renderer never blocks a new query kind.
+    """
+    import json as _json
+
+    query = doc.get("query", "trend")
+    parts = [f"# {title}", ""]
+    if query == "trend":
+        parts += [
+            f"Metric `{doc.get('metric')}` — {len(doc.get('lines', []))} "
+            f"timeline(s).",
+            "",
+            _md_table(_HISTORY_TREND_HEADERS, _history_trend_rows(doc)),
+        ]
+    elif query == "regress":
+        findings = doc.get("findings", [])
+        parts += [
+            f"Metric `{doc.get('metric')}` ({doc.get('direction')} is worse), "
+            f"threshold {doc.get('threshold_pct')}% vs the EWMA-fitted trend "
+            f"— {doc.get('timelines_checked', 0)} timeline(s) checked, "
+            f"{len(findings)} flagged.",
+            "",
+        ]
+        if findings:
+            parts.append(
+                _md_table(_HISTORY_REGRESS_HEADERS, _history_regress_rows(doc))
+            )
+            for f in findings:
+                for link in f.get("linked", []):
+                    parts.append(
+                        f"- `{f['label']}` links to {link['kind']} "
+                        f"artifacts: {link['artifacts']}"
+                    )
+        else:
+            parts.append("No timeline broke from its fitted trend.")
+    elif query == "compare":
+        rows = doc.get("rows", [])
+        parts.append(f"{len(rows)} timeline(s) with >= 2 records.")
+        for row in rows:
+            parts += ["", f"## {row['label']} (`{row['spec_sha'][:12]}`)", ""]
+            if row["identical"]:
+                parts.append("Last two records are identical.")
+            else:
+                parts.append(
+                    _md_table(
+                        ["counter", "prev", "last", "ratio"],
+                        [
+                            [k, d["prev"], d["last"], d.get("ratio", "-")]
+                            for k, d in sorted(row["deltas"].items())
+                        ],
+                    )
+                )
+    elif query == "flaky":
+        rows = doc.get("rows", [])
+        if not rows:
+            parts.append(
+                f"No flaky `{doc.get('kind')}` timelines — every spec's "
+                f"records agree."
+            )
+        for row in rows:
+            parts += [
+                f"## {row['label']} (`{row['spec_sha'][:12]}`): "
+                f"{len(row['outcomes'])} distinct outcomes over "
+                f"{row['records']} records",
+                "",
+            ]
+            for outcome in row["outcomes"]:
+                parts.append(
+                    f"- ×{outcome['count']}: "
+                    f"`{_json.dumps(outcome['counters'], sort_keys=True)}`"
+                )
+    else:
+        parts.append("```json")
+        parts.append(_json.dumps(doc, sort_keys=True, indent=1))
+        parts.append("```")
+    return "\n".join(parts) + "\n"
+
+
+def render_history_html(doc: Dict, title: str = "Run history") -> str:
+    """One history query result as a self-contained HTML document.
+
+    Trend queries get one inline-SVG line chart per metric (all
+    timelines overlaid, x = record index) in the figure idiom of the
+    profile report; everything else renders as tables.  Deterministic
+    for a given query result.
+    """
+    query = doc.get("query", "trend")
+    ok = doc.get("ok", True)
+    color = "#2ca02c" if ok else "#d62728"
+    parts = [
+        "<!DOCTYPE html>",
+        '<html lang="en"><head><meta charset="utf-8">',
+        f"<title>{html.escape(title)}</title>",
+        f"<style>{_CSS}</style></head><body>",
+        f"<h1>{html.escape(title)}</h1>",
+        f'<p>query: {html.escape(query)} &middot; verdict: '
+        f'<span class="badge" style="background:{color}">'
+        f"{'ok' if ok else 'flagged'}</span></p>",
+    ]
+    if query == "trend":
+        parts.append(
+            _html_table(_HISTORY_TREND_HEADERS, _history_trend_rows(doc))
+        )
+        series = {
+            line["label"]: (
+                list(range(len(line["values"]))),
+                line["values"],
+            )
+            for line in doc.get("lines", [])
+            if line["values"]
+        }
+        if series:
+            parts.append(
+                "<figure>"
+                + svg_line_chart(
+                    series,
+                    f"{doc.get('metric')} per record",
+                    xlabel="record #",
+                    ylabel=str(doc.get("metric")),
+                )
+                + "</figure>"
+            )
+    elif query == "regress":
+        parts.append(
+            _html_table(_HISTORY_REGRESS_HEADERS, _history_regress_rows(doc))
+        )
+    elif query == "compare":
+        for row in doc.get("rows", []):
+            parts.append(f"<h2>{html.escape(row['label'])}</h2>")
+            if row["identical"]:
+                parts.append("<p>Last two records are identical.</p>")
+            else:
+                parts.append(
+                    _html_table(
+                        ["counter", "prev", "last", "ratio"],
+                        [
+                            [k, d["prev"], d["last"], d.get("ratio", "-")]
+                            for k, d in sorted(row["deltas"].items())
+                        ],
+                    )
+                )
+    elif query == "flaky":
+        for row in doc.get("rows", []):
+            parts.append(f"<h2>{html.escape(row['label'])}</h2>")
+            parts.append(
+                _html_table(
+                    ["count", "counters"],
+                    [
+                        [o["count"], o["counters"]]
+                        for o in row["outcomes"]
+                    ],
+                )
+            )
+    parts.append("</body></html>")
+    return "\n".join(parts) + "\n"
+
+
+def render_history_text(doc: Dict) -> str:
+    """The history query as an aligned plain-text report (CLI stdout)."""
+    from repro.experiments.metrics import format_table
+
+    query = doc.get("query", "trend")
+    lines: List[str] = []
+    if query == "trend":
+        rows = _history_trend_rows(doc)
+        lines.append(
+            f"history trend — metric {doc.get('metric')}, "
+            f"{len(rows)} timeline(s)"
+        )
+        if rows:
+            lines.append(format_table(_HISTORY_TREND_HEADERS, rows))
+    elif query == "regress":
+        findings = doc.get("findings", [])
+        lines.append(
+            f"history regress — metric {doc.get('metric')} "
+            f"({doc.get('direction')} is worse), threshold "
+            f"{doc.get('threshold_pct')}%: {doc.get('timelines_checked', 0)} "
+            f"checked, {len(findings)} flagged"
+        )
+        if findings:
+            lines.append(
+                format_table(_HISTORY_REGRESS_HEADERS, _history_regress_rows(doc))
+            )
+            for f in findings:
+                for link in f.get("linked", []):
+                    lines.append(
+                        f"  {f['label']} -> {link['kind']} {link['artifacts']}"
+                    )
+        for skip in doc.get("skipped", []):
+            lines.append(
+                f"note: {skip['label']}: skipped ({skip['reason']})"
+            )
+    elif query == "compare":
+        for row in doc.get("rows", []):
+            lines.append(
+                f"{row['label']} ({row['spec_sha'][:12]}): "
+                + (
+                    "identical"
+                    if row["identical"]
+                    else f"{len(row['deltas'])} counter(s) changed"
+                )
+            )
+            if not row["identical"]:
+                lines.append(
+                    format_table(
+                        ["counter", "prev", "last", "ratio"],
+                        [
+                            [k, d["prev"], d["last"], d.get("ratio", "-")]
+                            for k, d in sorted(row["deltas"].items())
+                        ],
+                    )
+                )
+    elif query == "flaky":
+        rows = doc.get("rows", [])
+        lines.append(
+            f"history flaky — kind {doc.get('kind')}: {len(rows)} unstable "
+            f"timeline(s)"
+        )
+        for row in rows:
+            lines.append(
+                f"  {row['label']}: {len(row['outcomes'])} distinct outcomes "
+                f"over {row['records']} records"
+            )
+    lines.append("OK" if doc.get("ok", True) else "FLAGGED")
+    return "\n".join(lines) + "\n"
+
+
 def write_text(path: str, text: str) -> None:
     """Write a rendered document with deterministic encoding."""
     with open(path, "w", encoding="utf-8") as fh:

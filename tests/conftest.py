@@ -2,6 +2,16 @@
 
 from __future__ import annotations
 
+import os
+import tempfile
+
+# Keep the suite hermetic: the run ledger is on by default, and tests
+# exercise every recording entry point — always point it at a throwaway
+# directory, even when the invoking environment (e.g. CI's job-level
+# REPRO_LEDGER) chose one, so test runs never pollute a real ledger.
+# Tests that need a specific ledger monkeypatch the variable themselves.
+os.environ["REPRO_LEDGER"] = tempfile.mkdtemp(prefix="repro-test-ledger-")
+
 import numpy as np
 import pytest
 

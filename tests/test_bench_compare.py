@@ -168,6 +168,139 @@ def test_fleet_overhead_ceiling_is_gated():
     assert any("fleet_overhead" in n for n in missing["notes"])
 
 
+def test_ledger_overhead_ceiling_is_gated():
+    cheap = dict(BASE, ledger={"ledger_overhead": 1.02, "appends_per_sec": 1e4})
+    ok = compare(BASE, cheap)
+    assert ok["ok"] and ok["ledger_gate"] == "pass"
+    assert "ledger_overhead" in format_report(ok)
+    costly = dict(BASE, ledger={"ledger_overhead": 1.2})
+    bad = compare(BASE, costly)
+    assert not bad["ok"] and bad["ledger_gate"] == "fail"
+    # The gate is absolute (against the 1.05x ceiling), not relative.
+    from repro.experiments.bench_compare import LEDGER_OVERHEAD_CEILING
+
+    assert LEDGER_OVERHEAD_CEILING == 1.05
+    # A document predating the ledger section is a note, not a failure.
+    missing = compare(BASE, BASE)
+    assert missing["ok"] and missing["ledger_overhead"] is None
+    assert any("ledger" in n for n in missing["notes"])
+
+
+def _seed_bench_ledger(tmp_path, docs):
+    from repro.obs.ledger import RunLedger, RunRecord
+
+    root = str(tmp_path / "led")
+    ledger = RunLedger(root)
+    for doc in docs:
+        ledger.append(RunRecord(kind="bench", spec={"suite": "bench"},
+                                extra={"bench": doc}))
+    return root
+
+
+def test_fitted_base_ewma_over_the_bench_timeline(tmp_path):
+    from repro.experiments.bench_compare import fitted_base
+    from repro.obs.history import ewma
+
+    history = [
+        bench_doc([("water-spatial", "SC", eps, eps / 2),
+                   ("mdb", "BEST", 2 * eps, eps)],
+                  analyzer={"events_per_sec": 10 * eps})
+        for eps in (1000.0, 1100.0, 1050.0)
+    ]
+    root = _seed_bench_ledger(tmp_path, history)
+    new = bench_doc([("water-spatial", "SC", 1040.0, 520.0)])
+    base = fitted_base(root, new)
+    assert base["fitted_from"] == 3
+    fitted = ewma([1000.0, 1100.0, 1050.0])[-1]
+    by_case = {(r["workload"], r["technique"]): r for r in base["simulator"]}
+    assert by_case[("water-spatial", "SC")]["batched_eps"] == round(fitted, 3)
+    assert base["analyzer"]["events_per_sec"] == round(10 * fitted, 3)
+    # The fitted baseline is compare()-able like any BENCH file.
+    assert compare(base, new, max_regress=5.0)["ok"]
+
+
+def test_fitted_base_excludes_the_candidate_itself(tmp_path):
+    from repro.experiments.bench_compare import fitted_base
+
+    prior = bench_doc([("water-spatial", "SC", 1000.0, 500.0)])
+    candidate = bench_doc([("water-spatial", "SC", 400.0, 200.0)])
+    # bench.py records the candidate before the comparison runs; the
+    # fit must not let it drag its own baseline down.
+    root = _seed_bench_ledger(tmp_path, [prior, candidate])
+    base = fitted_base(root, candidate)
+    assert base["fitted_from"] == 1
+    assert base["simulator"][0]["batched_eps"] == 1000.0
+    assert not compare(base, candidate, max_regress=10.0)["ok"]
+
+
+def test_fitted_base_requires_matching_history(tmp_path):
+    from repro.experiments.bench_compare import fitted_base
+
+    with pytest.raises(ConfigurationError):
+        fitted_base(str(tmp_path / "empty"), BASE)
+    other_schema = bench_doc([("water-spatial", "SC", 1.0, 1.0)], schema=9)
+    root = _seed_bench_ledger(tmp_path, [other_schema])
+    with pytest.raises(ConfigurationError):
+        fitted_base(root, BASE)
+
+
+def test_cli_ledger_mode(tmp_path, capsys):
+    history = [
+        bench_doc([("water-spatial", "SC", eps, eps / 2)])
+        for eps in (1000.0, 1020.0)
+    ]
+    root = _seed_bench_ledger(tmp_path, history)
+    new = tmp_path / "new.json"
+    new.write_text(json.dumps(bench_doc([("water-spatial", "SC", 1010.0, 505.0)])))
+    assert main(["--ledger", root, str(new), "--max-regress", "5"]) == EXIT_OK
+    out = capsys.readouterr().out
+    assert "fitted (EWMA) from 2 ledger bench record(s)" in out
+
+    slow = tmp_path / "slow.json"
+    slow.write_text(json.dumps(bench_doc([("water-spatial", "SC", 500.0, 250.0)])))
+    assert main(["--ledger", root, str(slow), "--max-regress", "5"]) == (
+        EXIT_REGRESSION
+    )
+    # base file and --ledger are mutually exclusive, and one is required.
+    assert main([str(new), str(new), "--ledger", root]) == EXIT_INCOMPARABLE
+    assert main([str(new)]) == EXIT_INCOMPARABLE
+    # An empty ledger is incomparable, not a crash.
+    assert main(["--ledger", str(tmp_path / "none"), str(new)]) == (
+        EXIT_INCOMPARABLE
+    )
+
+
+def test_bench_cli_never_silently_overwrites(tmp_path, monkeypatch, capsys):
+    """tools/bench.py must refuse to clobber a committed baseline: the
+    default path auto-suffixes ``-2``, ``-3``...; an explicit --out that
+    exists is an error unless --force."""
+    from repro.experiments import bench as bench_mod
+
+    doc = dict(BASE, date="2026-01-01")
+    monkeypatch.setattr(bench_mod, "run_suite", lambda **kw: dict(doc))
+    monkeypatch.setenv("REPRO_LEDGER", str(tmp_path / "led"))
+    monkeypatch.chdir(tmp_path)
+
+    assert bench_mod.main([]) == 0
+    assert (tmp_path / "BENCH_2026-01-01.json").exists()
+    assert bench_mod.main([]) == 0
+    assert (tmp_path / "BENCH_2026-01-01-2.json").exists()
+    assert "exists" in capsys.readouterr().err
+
+    out = tmp_path / "point.json"
+    assert bench_mod.main(["--out", str(out)]) == 0
+    assert bench_mod.main(["--out", str(out)]) == 2
+    assert "--force" in capsys.readouterr().err
+    assert bench_mod.main(["--out", str(out), "--force"]) == 0
+
+    # Every successful invocation recorded a bench ledger record.
+    from repro.obs.ledger import RunLedger
+
+    records = RunLedger(str(tmp_path / "led")).records(kind="bench")
+    assert len(records) == 4
+    assert records[0].extra["bench"]["date"] == "2026-01-01"
+
+
 def test_load_bench_rejects_non_bench_documents(tmp_path):
     path = tmp_path / "x.json"
     path.write_text(json.dumps({"hello": 1}))

@@ -95,6 +95,39 @@ def test_registry_histogram_constant_series_collapses():
     assert reg.series_histogram("flat", bins=8) == [(42.0, 42.0, 3)]
 
 
+def test_registry_empty_series_raises_typed_error():
+    """Percentile/histogram of an empty series is a caller bug (typed
+    error), never an IndexError and never a fake 0 — 0 is a legal
+    sample value, so it cannot double as a no-data sentinel."""
+    reg = MetricsRegistry(interval=1)
+    reg.ensure_series("pending")
+    assert reg.series("pending") == ([], [])
+    assert "pending" in reg.series_names()
+    with pytest.raises(ConfigurationError):
+        reg.series_percentile("pending", 0.5)
+    with pytest.raises(ConfigurationError):
+        reg.series_histogram("pending")
+
+
+def test_registry_single_sample_series_is_well_defined():
+    reg = MetricsRegistry(interval=1)
+    reg.sample("one", 0, 7.0)
+    for q in (0.0, 0.5, 0.95, 1.0):
+        assert reg.series_percentile("one", q) == 7.0
+    assert reg.series_histogram("one", bins=10) == [(7.0, 7.0, 1)]
+
+
+def test_ensure_series_is_idempotent_and_shared():
+    reg = MetricsRegistry(interval=1)
+    first = reg.ensure_series("s")
+    reg.sample("s", 0, 1.0)
+    assert reg.ensure_series("s") is first
+    assert first == ([0], [1.0])
+    # Pre-declared empty series appear in the export snapshot.
+    reg.ensure_series("empty")
+    assert reg.to_dict()["series"]["empty"] == {"t": [], "v": []}
+
+
 # ---------------------------------------------------------------------------
 # emitter + sampler
 # ---------------------------------------------------------------------------
